@@ -1,0 +1,418 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/annotate"
+	"repro/internal/blob"
+	"repro/internal/cluster"
+	"repro/internal/docdb"
+	"repro/internal/experiments"
+	"repro/internal/library"
+	"repro/internal/locking"
+	"repro/internal/minisql"
+	"repro/internal/mtree"
+	"repro/internal/netsim"
+	"repro/internal/relstore"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// One benchmark per evaluation experiment (E1–E10 of DESIGN.md). Each
+// iteration regenerates the experiment's table at test scale; run
+// cmd/mmubench for the full-scale tables recorded in EXPERIMENTS.md.
+// ---------------------------------------------------------------------------
+
+func benchExperiment(b *testing.B, run func(experiments.Scale) (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1BroadcastTree(b *testing.B) { benchExperiment(b, experiments.E1BroadcastTree) }
+func BenchmarkE2Preload(b *testing.B)       { benchExperiment(b, experiments.E2Preload) }
+func BenchmarkE3BlobSharing(b *testing.B)   { benchExperiment(b, experiments.E3BlobSharing) }
+func BenchmarkE4Watermark(b *testing.B)     { benchExperiment(b, experiments.E4Watermark) }
+func BenchmarkE5Migration(b *testing.B)     { benchExperiment(b, experiments.E5Migration) }
+func BenchmarkE6Locking(b *testing.B)       { benchExperiment(b, experiments.E6Locking) }
+func BenchmarkE7Integrity(b *testing.B)     { benchExperiment(b, experiments.E7Integrity) }
+func BenchmarkE8Search(b *testing.B)        { benchExperiment(b, experiments.E8Search) }
+func BenchmarkE9Formulas(b *testing.B)      { benchExperiment(b, experiments.E9Formulas) }
+func BenchmarkE10AdaptiveM(b *testing.B)    { benchExperiment(b, experiments.E10AdaptiveM) }
+func BenchmarkE11Pipelining(b *testing.B)   { benchExperiment(b, experiments.E11Pipelining) }
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks.
+// ---------------------------------------------------------------------------
+
+func benchSchema() relstore.Schema {
+	return relstore.Schema{
+		Name: "t",
+		Columns: []relstore.Column{
+			{Name: "id", Type: relstore.TInt, NotNull: true},
+			{Name: "grp", Type: relstore.TInt},
+			{Name: "name", Type: relstore.TText},
+		},
+		Key: "id",
+	}
+}
+
+func BenchmarkRelstoreInsert(b *testing.B) {
+	db := relstore.NewDB()
+	if err := db.CreateTable(benchSchema()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Insert("t", relstore.Row{"id": int64(i), "grp": int64(i % 100), "name": "row"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRelstoreGet(b *testing.B) {
+	db := relstore.NewDB()
+	if err := db.CreateTable(benchSchema()); err != nil {
+		b.Fatal(err)
+	}
+	const rows = 10000
+	for i := 0; i < rows; i++ {
+		if err := db.Insert("t", relstore.Row{"id": int64(i), "grp": int64(i % 100)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get("t", int64(i%rows)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRelstoreIndexedSelect(b *testing.B) {
+	db := relstore.NewDB()
+	if err := db.CreateTable(benchSchema()); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateIndex("t", "grp"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if err := db.Insert("t", relstore.Row{"id": int64(i), "grp": int64(i % 100)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := relstore.Query{Table: "t", Conds: []relstore.Cond{{Col: "grp", Op: relstore.OpEq, Val: int64(7)}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Select(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRelstoreScanSelect(b *testing.B) {
+	db := relstore.NewDB()
+	if err := db.CreateTable(benchSchema()); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if err := db.Insert("t", relstore.Row{"id": int64(i), "grp": int64(i % 100)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := relstore.Query{Table: "t", Conds: []relstore.Cond{{Col: "grp", Op: relstore.OpEq, Val: int64(7)}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Select(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinisqlParse(b *testing.B) {
+	const stmt = `SELECT script_name, author FROM scripts WHERE author = 'Shih' AND version >= 2 ORDER BY script_name LIMIT 10`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := minisql.Parse(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinisqlSelect(b *testing.B) {
+	db := relstore.NewDB()
+	s := minisql.NewSession(db)
+	if _, err := s.Exec(`CREATE TABLE t (id INT NOT NULL, grp INT, PRIMARY KEY (id))`); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Exec(`CREATE INDEX ON t (grp)`); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		stmt := fmt.Sprintf("INSERT INTO t (id, grp) VALUES (%d, %d)", i, i%50)
+		if _, err := s.Exec(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Exec(`SELECT id FROM t WHERE grp = 7`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlobPutDedup(b *testing.B) {
+	store := blob.NewStore()
+	contents := make([][]byte, 10)
+	for i := range contents {
+		contents[i] = []byte(fmt.Sprintf("media-object-%d-%s", i, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Put("n", blob.KindImage, contents[i%len(contents)])
+	}
+}
+
+func BenchmarkMtreeRounds(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mtree.MaxRound(4095, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetsimTreeBroadcast(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := netsim.New(netsim.Sequential)
+		ids := sim.AddNodes(255, 1.25e6, 5*time.Millisecond)
+		var forward func(pos int)
+		forward = func(pos int) {
+			kids, err := mtree.Children(pos, 3, 255)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, kid := range kids {
+				kid := kid
+				sim.Transfer(ids[pos-1], ids[kid-1], 1<<20, func(time.Duration) { forward(kid) })
+			}
+		}
+		forward(1)
+		sim.Run()
+	}
+}
+
+func BenchmarkAnnotateEncodeDecode(b *testing.B) {
+	doc := &annotate.Document{
+		Author:  "Shih",
+		PageURL: "http://mmu/x",
+	}
+	for i := 0; i < 50; i++ {
+		doc.Primitives = append(doc.Primitives, annotate.Primitive{
+			Kind:   annotate.PrimFreehand,
+			At:     time.Duration(i) * time.Second,
+			Points: []annotate.Point{{X: int32(i), Y: 0}, {X: 0, Y: int32(i)}, {X: int32(i), Y: int32(i)}},
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := doc.Encode()
+		if _, err := annotate.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransportRoundTrip(b *testing.B) {
+	srv := transport.NewServer()
+	srv.Handle("echo", func(decode func(any) error) (any, error) {
+		var req struct{ N int }
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		return req, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := transport.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var resp struct{ N int }
+		if err := c.Call("echo", struct{ N int }{N: i}, &resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBundleExportImport(b *testing.B) {
+	src, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src.Now = func() time.Time { return time.Date(1999, 4, 21, 0, 0, 0, 0, time.UTC) }
+	spec := workload.DefaultSpec(1)
+	spec.Pages = 10
+	spec.MediaScaleDown = 16384
+	if _, err := workload.BuildCourse(src, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bundle, err := src.ExportBundle(spec.URL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dst.ImportBundle(bundle, 2, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLibrarySearchIndexed(b *testing.B) {
+	lib, queries := benchLibrary(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lib.Search(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkLibrarySearchScan(b *testing.B) {
+	lib, queries := benchLibrary(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lib.ScanSearch(queries[i%len(queries)])
+	}
+}
+
+func benchLibrary(b *testing.B, size int) (*library.Library, []library.Query) {
+	b.Helper()
+	store, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	store.Now = func() time.Time { return time.Date(1999, 4, 21, 0, 0, 0, 0, time.UTC) }
+	if err := store.CreateDatabase(docdb.Database{Name: "mmu"}); err != nil {
+		b.Fatal(err)
+	}
+	lib := library.New(store)
+	lib.RegisterInstructor("Shih")
+	vocab := workload.Vocabulary(2000)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < size; i++ {
+		name := fmt.Sprintf("c%05d", i)
+		err := store.CreateScript(docdb.Script{
+			Name: name, DBName: "mmu",
+			Author:   fmt.Sprintf("instr%d", i%20),
+			Keywords: workload.PickKeywords(rng, vocab, 4),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := lib.Add(name, fmt.Sprintf("N-%d", i), "Shih"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	queries := make([]library.Query, 64)
+	for i := range queries {
+		queries[i] = library.Query{Keywords: workload.PickKeywords(rng, vocab, 2)}
+	}
+	return lib, queries
+}
+
+func BenchmarkLockingHierarchical(b *testing.B) {
+	m := locking.NewManager()
+	paths := make([]locking.Path, 16)
+	for i := range paths {
+		paths[i] = locking.Path{"db", "course", fmt.Sprintf("part%d", i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lk, err := m.Acquire(context.Background(), "u", paths[i%len(paths)], locking.Read)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lk.Release()
+	}
+}
+
+func BenchmarkClusterPreBroadcast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := cluster.New(cluster.Config{
+			Stations: 15, M: 3, UplinkBps: 1.25e6, Latency: 5 * time.Millisecond,
+			Watermark: 1, Mode: netsim.Sequential,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := workload.DefaultSpec(1)
+		spec.Pages = 8
+		spec.MediaScaleDown = 16384
+		if _, _, err := c.AuthorCourse(spec); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.BroadcastReferences(spec.URL); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := c.PreBroadcast(spec.URL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRelstoreOrderedRangeSelect(b *testing.B) {
+	db := relstore.NewDB()
+	if err := db.CreateTable(benchSchema()); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateOrderedIndex("t", "grp"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if err := db.Insert("t", relstore.Row{"id": int64(i), "grp": int64(i % 100)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := relstore.Query{Table: "t", Conds: []relstore.Cond{{Col: "grp", Op: relstore.OpLt, Val: int64(5)}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Select(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

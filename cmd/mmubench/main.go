@@ -1,0 +1,59 @@
+// Command mmubench regenerates the evaluation tables (E1–E11 in
+// DESIGN.md) of the distributed Web document database reproduction.
+//
+// Usage:
+//
+//	mmubench              # run every experiment at full scale
+//	mmubench -e e4        # run one experiment (e1..e11)
+//	mmubench -scale small # the fast sizes used by the unit tests
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("e", "", "experiment id (e1..e11); empty runs all")
+		scale = flag.String("scale", "full", "experiment scale: small or full")
+	)
+	flag.Parse()
+
+	sc := experiments.Full
+	switch *scale {
+	case "full":
+	case "small":
+		sc = experiments.Small
+	default:
+		fmt.Fprintf(os.Stderr, "mmubench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	if *exp != "" {
+		run, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mmubench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		table, err := run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmubench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(table.Render())
+		return
+	}
+
+	tables, err := experiments.All(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmubench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+}

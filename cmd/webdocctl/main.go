@@ -1,0 +1,138 @@
+// Command webdocctl is the administrative client for webdocd stations:
+// the class administrator front end of the paper's three-tier
+// architecture, speaking the station RPC protocol.
+//
+// Usage:
+//
+//	webdocctl -addr 127.0.0.1:7070 ping
+//	webdocctl -addr 127.0.0.1:7070 sql "SELECT * FROM scripts"
+//	webdocctl -addr 127.0.0.1:7070 tables
+//	webdocctl -addr 127.0.0.1:7070 pull http://mmu/course-001/v1 127.0.0.1:7071
+//
+// "pull URL TARGET" copies a document bundle from the -addr station to
+// the TARGET station (pre-broadcast of a single document by hand).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "station address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	rs, err := cluster.DialStation(*addr)
+	if err != nil {
+		fail("dial %s: %v", *addr, err)
+	}
+	defer rs.Close()
+
+	switch args[0] {
+	case "ping":
+		info, err := rs.Ping()
+		if err != nil {
+			fail("ping: %v", err)
+		}
+		fmt.Printf("station %d: %d tables, %d document objects\n", info.Pos, len(info.Tables), info.Objects)
+	case "tables":
+		info, err := rs.Ping()
+		if err != nil {
+			fail("ping: %v", err)
+		}
+		for _, t := range info.Tables {
+			fmt.Println(t)
+		}
+	case "sql":
+		if len(args) < 2 {
+			usage()
+		}
+		reply, err := rs.SQL(strings.Join(args[1:], " "))
+		if err != nil {
+			fail("sql: %v", err)
+		}
+		printSQL(reply)
+	case "pull":
+		if len(args) != 3 {
+			usage()
+		}
+		url, target := args[1], args[2]
+		bundle, err := rs.FetchBundle(url)
+		if err != nil {
+			fail("fetch bundle: %v", err)
+		}
+		dst, err := cluster.DialStation(target)
+		if err != nil {
+			fail("dial target %s: %v", target, err)
+		}
+		defer dst.Close()
+		reply, err := dst.Import(bundle, false)
+		if err != nil {
+			fail("import: %v", err)
+		}
+		fmt.Printf("pulled %s to %s: object %s (%s), %d bytes\n",
+			url, target, reply.ObjectID, reply.Form, bundle.TotalBytes())
+	default:
+		usage()
+	}
+}
+
+func printSQL(reply cluster.SQLReply) {
+	if reply.Msg != "" {
+		fmt.Println(reply.Msg)
+		return
+	}
+	if reply.Columns == nil {
+		fmt.Printf("%d row(s) affected\n", reply.Affected)
+		return
+	}
+	widths := make([]int, len(reply.Columns))
+	for i, c := range reply.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range reply.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for i, c := range reply.Columns {
+		fmt.Printf("%-*s  ", widths[i], c)
+	}
+	fmt.Println()
+	for i := range reply.Columns {
+		fmt.Print(strings.Repeat("-", widths[i]), "  ")
+	}
+	fmt.Println()
+	for _, row := range reply.Rows {
+		for i, cell := range row {
+			fmt.Printf("%-*s  ", widths[i], cell)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", len(reply.Rows))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: webdocctl [-addr host:port] COMMAND
+commands:
+  ping                 station status
+  tables               list relational tables
+  sql "STATEMENT"      run a minisql statement
+  pull URL TARGET      copy a document bundle to another station`)
+	os.Exit(2)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "webdocctl: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command webdocd runs one Web document database station as a network
+// daemon: the deployed form of a station in the paper's three-tier
+// architecture. It hosts the embedded relational engine, the BLOB store
+// and the document layer, and serves the station RPC protocol (Ping,
+// Bundle, Import, SQL) over TCP.
+//
+// Usage:
+//
+//	webdocd -addr 127.0.0.1:7070 -pos 1
+//	webdocd -addr 127.0.0.1:7071 -pos 2 -seed-course 1
+//	webdocd -wal station1.wal   # persist committed transactions
+//
+// With -seed-course N the daemon authors a synthetic N-page course on
+// startup so a fresh deployment has something to serve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/blob"
+	"repro/internal/cluster"
+	"repro/internal/docdb"
+	"repro/internal/library"
+	"repro/internal/relstore"
+	"repro/internal/webui"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
+		httpAddr   = flag.String("http", "", "serve the Web-savvy virtual library UI on this address (empty disables)")
+		pos        = flag.Int("pos", 1, "station position in the linear joining order")
+		walPath    = flag.String("wal", "", "write-ahead log path (empty disables persistence)")
+		seedCourse = flag.Int("seed-course", 0, "author a synthetic course with this many pages on startup")
+	)
+	flag.Parse()
+
+	rel := relstore.NewDB()
+	store, err := docdb.Open(rel, blob.NewStore())
+	if err != nil {
+		log.Fatalf("webdocd: opening store: %v", err)
+	}
+	if *walPath != "" {
+		if f, err := os.Open(*walPath); err == nil {
+			// Replay an existing log before attaching it for appends.
+			rel2 := relstore.NewDB()
+			if n, err := rel2.ReplayWAL(f); err != nil {
+				log.Fatalf("webdocd: replaying WAL: %v", err)
+			} else if n > 0 {
+				log.Printf("webdocd: replayed %d committed transactions", n)
+			}
+			f.Close()
+		}
+		if err := rel.OpenWAL(*walPath); err != nil {
+			log.Fatalf("webdocd: opening WAL: %v", err)
+		}
+		defer rel.CloseWAL()
+	}
+
+	lib := library.New(store)
+	lib.RegisterInstructor("instructor")
+	if *seedCourse > 0 {
+		spec := workload.DefaultSpec(*pos)
+		spec.Pages = *seedCourse
+		spec.MediaScaleDown = 4096
+		course, err := workload.BuildCourse(store, spec)
+		if err != nil {
+			log.Fatalf("webdocd: seeding course: %v", err)
+		}
+		if _, err := store.NewInstance(spec.URL, *pos, true); err != nil {
+			log.Fatalf("webdocd: recording instance: %v", err)
+		}
+		if err := lib.Add(spec.ScriptName, fmt.Sprintf("MMU-%03d", *pos), "instructor"); err != nil {
+			log.Fatalf("webdocd: cataloging course: %v", err)
+		}
+		log.Printf("webdocd: seeded %s (%d pages, %d media, %d bytes)",
+			spec.ScriptName, course.PageCount, course.MediaCount, course.MediaBytes)
+	}
+
+	if *httpAddr != "" {
+		ui := webui.New(lib, store)
+		go func() {
+			log.Printf("webdocd: virtual library UI on http://%s/", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, ui); err != nil {
+				log.Fatalf("webdocd: http: %v", err)
+			}
+		}()
+	}
+
+	node := cluster.NewNode(*pos, store)
+	bound, err := node.Start(*addr)
+	if err != nil {
+		log.Fatalf("webdocd: listen: %v", err)
+	}
+	fmt.Printf("webdocd: station %d serving on %s\n", *pos, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("webdocd: shutting down")
+	node.Close()
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "The Design and
+// Implementation of a Distributed Web Document Database" (Timothy K.
+// Shih, Jianhua Ma & Runhe Huang, ICPP 1999): the virtual-course
+// database of the Multimedia Micro-University project, including its
+// relational substrate, BLOB layer, document layer, referential
+// integrity diagram, hierarchical locking, m-ary tree distribution
+// with watermark replication, virtual library, testing subsystem and
+// annotation model.
+//
+// The public facade is internal/core; see README.md for the tour and
+// DESIGN.md for the system inventory. The benchmarks in this package
+// (bench_test.go) regenerate the evaluation tables E1–E10 and measure
+// the substrates.
+package repro

@@ -1,0 +1,99 @@
+// Quickstart walks the whole system end to end, the way the paper's
+// virtual university uses it: an instructor authors a course on station
+// 1, publishes it to the virtual library, pre-broadcasts it to the
+// student stations before the lecture, students play it back and check
+// materials out of the library, and the buffers migrate back to
+// references after class.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/library"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.Stations = 7
+	u, err := core.NewUniversity(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Author and publish a 12-page course with scaled-down media.
+	spec := workload.DefaultSpec(1)
+	spec.ScriptName = "intro-cs"
+	spec.URL = "http://mmu/intro-cs/v1"
+	spec.Author = "Shih"
+	spec.Pages = 12
+	spec.MediaScaleDown = 2048
+	course, err := u.PublishCourse(spec, "CS-101", "Shih")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published %s: %d pages, %d media objects, %.2f MiB\n",
+		spec.ScriptName, course.PageCount, course.MediaCount, float64(course.MediaBytes)/(1<<20))
+
+	// The course is searchable in the Web-savvy virtual library.
+	hits := u.Search(library.Query{Keywords: []string{"virtual"}})
+	fmt.Printf("library search for 'virtual': %d hit(s); first = %s\n", len(hits), hits[0].Entry.ScriptName)
+
+	// Pre-broadcast the lecture down the m-ary tree.
+	slowest, size, err := u.Distribute(spec.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed %.2f MiB to %d stations (m=%d); slowest station ready after %v\n",
+		float64(size)/(1<<20), u.Cluster.Size()-1, u.Cluster.M(), slowest.Round(time.Millisecond))
+
+	// A student at station 5 plays the lecture: no stalls after the
+	// pre-broadcast.
+	rep, err := u.Cluster.Playback(5, spec.URL, 2*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("playback at station 5: %d pages, %d stalls\n", rep.Pages, rep.Stalls)
+
+	// The student checks lecture notes out of the library; the ledger
+	// feeds assessment.
+	co, err := u.StudentCheckOut(spec.ScriptName, "alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := u.StudentCheckIn(co); err != nil {
+		log.Fatal(err)
+	}
+	assessment, err := u.Assess("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assessment for alice: %d checkouts, %d distinct documents, score %.1f\n",
+		assessment.Checkouts, assessment.DistinctDocs, assessment.Score)
+
+	// After the lecture the duplicated instances migrate to references.
+	freed, err := u.EndLecture(spec.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lecture ended: %.2f MiB of buffer space reclaimed\n", float64(freed)/(1<<20))
+
+	// Run the testing subsystem over the course.
+	testName, bugName, err := u.TestCourse(spec.URL, "Huang", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if bugName == "" {
+		fmt.Printf("white-box test %s: course is clean\n", testName)
+	} else {
+		fmt.Printf("white-box test %s filed bug %s\n", testName, bugName)
+	}
+	cx, err := u.Complexity(spec.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("course complexity: %d pages, %d links, cyclomatic %d\n", cx.Pages, cx.Links, cx.Cyclomatic)
+}

@@ -1,0 +1,108 @@
+package blob
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshotEntry is the gob image of one stored object.
+type snapshotEntry struct {
+	Hash     string
+	Kind     Kind
+	Refcount int
+	Names    []string
+	Data     []byte
+}
+
+// Snapshot writes a point-in-time image of the store, so a station can
+// persist its BLOB layer alongside the relational snapshot.
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries := make([]snapshotEntry, 0, len(s.objects))
+	for _, ref := range s.listLocked() {
+		e := s.objects[ref.Hash]
+		names := make([]string, 0, len(e.names))
+		for n := range e.names {
+			names = append(names, n)
+		}
+		sortStrings(names)
+		entries = append(entries, snapshotEntry{
+			Hash:     ref.Hash,
+			Kind:     e.kind,
+			Refcount: e.refcount,
+			Names:    names,
+			Data:     e.data,
+		})
+	}
+	return gob.NewEncoder(w).Encode(entries)
+}
+
+// Restore replaces the store contents with a snapshot previously
+// written by Snapshot, verifying every object's content hash.
+func (s *Store) Restore(r io.Reader) error {
+	var entries []snapshotEntry
+	if err := gob.NewDecoder(r).Decode(&entries); err != nil {
+		return fmt.Errorf("blob: decoding snapshot: %w", err)
+	}
+	fresh := NewStore()
+	for _, e := range entries {
+		if e.Refcount <= 0 {
+			return fmt.Errorf("blob: snapshot holds unreferenced object %s", e.Hash[:12])
+		}
+		name := ""
+		if len(e.Names) > 0 {
+			name = e.Names[0]
+		}
+		ref := fresh.Put(name, e.Kind, e.Data)
+		if ref.Hash != e.Hash {
+			return fmt.Errorf("blob: snapshot object %s fails content verification", e.Hash[:12])
+		}
+		for _, n := range e.Names[1:] {
+			fresh.mu.Lock()
+			fresh.objects[ref.Hash].names[n] = struct{}{}
+			fresh.mu.Unlock()
+		}
+		for i := 1; i < e.Refcount; i++ {
+			if err := fresh.Retain(ref); err != nil {
+				return err
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fresh.mu.Lock()
+	defer fresh.mu.Unlock()
+	s.objects = fresh.objects
+	s.logicalBytes = fresh.logicalBytes
+	s.physicalBytes = fresh.physicalBytes
+	return nil
+}
+
+// listLocked returns refs sorted by hash; caller holds at least the
+// read lock.
+func (s *Store) listLocked() []Ref {
+	refs := make([]Ref, 0, len(s.objects))
+	for h, e := range s.objects {
+		refs = append(refs, Ref{Hash: h, Size: int64(len(e.data)), Kind: e.kind})
+	}
+	sortRefs(refs)
+	return refs
+}
+
+func sortRefs(refs []Ref) {
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && refs[j].Hash < refs[j-1].Hash; j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package blob
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := NewStore()
+	r1 := s.Put("a.gif", KindImage, []byte("image-bytes"))
+	s.Put("b.gif", KindImage, []byte("image-bytes")) // shared content, refcount 2
+	r2 := s.Put("c.wav", KindAudio, []byte("audio-bytes"))
+	if err := s.Retain(r2); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewStore()
+	if err := s2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s2.Stats(), s.Stats(); got.Objects != want.Objects ||
+		got.PhysicalBytes != want.PhysicalBytes || got.LogicalBytes != want.LogicalBytes {
+		t.Errorf("stats after restore = %+v, want %+v", got, want)
+	}
+	if s2.RefCount(r1) != 2 {
+		t.Errorf("shared object refcount = %d, want 2", s2.RefCount(r1))
+	}
+	if s2.RefCount(r2) != 2 {
+		t.Errorf("retained object refcount = %d, want 2", s2.RefCount(r2))
+	}
+	data, err := s2.Get(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte("image-bytes")) {
+		t.Error("content corrupted across snapshot")
+	}
+	names := s2.Names(r1)
+	if len(names) != 2 || names[0] != "a.gif" || names[1] != "b.gif" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	s := NewStore()
+	if err := s.Restore(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestRestoreVerifiesContentHash(t *testing.T) {
+	s := NewStore()
+	s.Put("x", KindOther, []byte("payload"))
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one content byte inside the gob stream.
+	raw := buf.Bytes()
+	idx := bytes.Index(raw, []byte("payload"))
+	if idx < 0 {
+		t.Fatal("payload not found in snapshot")
+	}
+	raw[idx] ^= 0xFF
+	s2 := NewStore()
+	if err := s2.Restore(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted snapshot accepted")
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	s := NewStore()
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	if err := s2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Stats().Objects != 0 {
+		t.Error("empty snapshot produced objects")
+	}
+}

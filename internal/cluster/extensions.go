@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mtree"
+	"repro/internal/schema"
+)
+
+// Station failure handling. The paper assumes stations join and stay;
+// a deployed system loses workstations mid-semester, so the
+// distribution layer routes around marked-down stations: broadcasts
+// graft a failed station's children onto its nearest live ancestor, and
+// on-demand pulls skip dead holders on the ancestor path.
+
+// down tracks failed stations; lazily allocated.
+func (c *Cluster) downSet() map[int]bool {
+	if c.down == nil {
+		c.down = make(map[int]bool)
+	}
+	return c.down
+}
+
+// MarkDown simulates a station failure. The root (instructor station)
+// cannot be marked down.
+func (c *Cluster) MarkDown(pos int) error {
+	if pos == 1 {
+		return fmt.Errorf("%w: the instructor station cannot fail", ErrBadConfig)
+	}
+	if _, err := c.Station(pos); err != nil {
+		return err
+	}
+	c.downSet()[pos] = true
+	return nil
+}
+
+// MarkUp returns a failed station to service. Its document store kept
+// whatever it held before the failure.
+func (c *Cluster) MarkUp(pos int) error {
+	if _, err := c.Station(pos); err != nil {
+		return err
+	}
+	delete(c.downSet(), pos)
+	return nil
+}
+
+// Down reports whether a station is marked failed.
+func (c *Cluster) Down(pos int) bool { return c.down[pos] }
+
+// liveChildren expands a station's children, replacing failed children
+// by their own (recursively expanded) children — the grafting rule for
+// routing a broadcast around failures.
+func (c *Cluster) liveChildren(pos int) ([]int, error) {
+	kids, err := mtree.Children(pos, c.cfg.M, c.Size())
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, kid := range kids {
+		if !c.down[kid] {
+			out = append(out, kid)
+			continue
+		}
+		grafted, err := c.liveChildren(kid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, grafted...)
+	}
+	return out, nil
+}
+
+// PreBroadcastChunked pushes the lecture bundle down the m-ary tree cut
+// into chunks of the given size, relaying each chunk as soon as it is
+// received instead of waiting for the whole bundle (store-and-forward).
+// Pipelining removes the depth penalty: deep stations stream behind
+// their ancestors instead of waiting for full copies. Returns the
+// per-station completion offsets and the bundle size. Failed stations
+// are routed around and report a zero completion time.
+func (c *Cluster) PreBroadcastChunked(url string, chunkBytes int64) ([]time.Duration, int64, error) {
+	if chunkBytes <= 0 {
+		return nil, 0, fmt.Errorf("%w: chunk size %d", ErrBadConfig, chunkBytes)
+	}
+	root := c.stations[0]
+	bundle, err := root.Store.ExportBundle(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	size := bundle.TotalBytes()
+	chunks := int((size + chunkBytes - 1) / chunkBytes)
+	lastChunk := size - int64(chunks-1)*chunkBytes
+
+	start := c.sim.Now()
+	times := make([]time.Duration, c.Size())
+	received := make([]int, c.Size()+1)
+	var failure error
+
+	// relay forwards one received chunk from a station to its live
+	// children, and completes the station when the bundle is whole.
+	var relay func(pos, chunk int, at time.Duration)
+	deliver := func(pos, chunk int, at time.Duration) {
+		received[pos]++
+		if received[pos] == chunks {
+			st := c.stations[pos-1]
+			if _, err := st.Store.ImportBundle(bundle, pos, false); err != nil {
+				failure = err
+				return
+			}
+			times[pos-1] = at - start
+		}
+		relay(pos, chunk, at)
+	}
+	relay = func(pos, chunk int, at time.Duration) {
+		kids, err := c.liveChildren(pos)
+		if err != nil {
+			failure = err
+			return
+		}
+		sz := chunkBytes
+		if chunk == chunks-1 {
+			sz = lastChunk
+		}
+		for _, kid := range kids {
+			kid := kid
+			if err := c.sim.Transfer(c.ids[pos-1], c.ids[kid-1], sz, func(done time.Duration) {
+				deliver(kid, chunk, done)
+			}); err != nil {
+				failure = err
+				return
+			}
+		}
+	}
+	for chunk := 0; chunk < chunks; chunk++ {
+		relay(1, chunk, start)
+	}
+	c.sim.Run()
+	return times, size, failure
+}
+
+// PreBroadcastResilient behaves like PreBroadcast but routes around
+// failed stations (store-and-forward over the grafted live tree).
+func (c *Cluster) PreBroadcastResilient(url string) ([]time.Duration, int64, error) {
+	root := c.stations[0]
+	bundle, err := root.Store.ExportBundle(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	size := bundle.TotalBytes()
+	start := c.sim.Now()
+	times := make([]time.Duration, c.Size())
+	var failure error
+	var forward func(pos int)
+	forward = func(pos int) {
+		kids, err := c.liveChildren(pos)
+		if err != nil {
+			failure = err
+			return
+		}
+		for _, kid := range kids {
+			kid := kid
+			if err := c.sim.Transfer(c.ids[pos-1], c.ids[kid-1], size, func(at time.Duration) {
+				st := c.stations[kid-1]
+				if _, err := st.Store.ImportBundle(bundle, kid, false); err != nil {
+					failure = err
+					return
+				}
+				times[kid-1] = at - start
+				forward(kid)
+			}); err != nil {
+				failure = err
+				return
+			}
+		}
+	}
+	forward(1)
+	c.sim.Run()
+	return times, size, failure
+}
+
+// holderOnLivePath is holderOnPath restricted to live stations: the
+// on-demand pull walks the ancestor route, skipping failed holders.
+func (c *Cluster) holderOnLivePath(pos int, url string) (*Station, error) {
+	path, err := mtree.AncestorPath(pos, c.cfg.M)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range path {
+		if c.down[p] {
+			continue
+		}
+		st := c.stations[p-1]
+		obj, err := st.Store.ObjectByURL(url)
+		if err != nil {
+			continue
+		}
+		if obj.Form == schema.FormInstance || obj.Form == schema.FormClass {
+			return st, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s from station %d (live path)", ErrNoInstance, url, pos)
+}
+
+// FetchOnDemandResilient retrieves a document for a live station,
+// skipping failed holders on the ancestor route. The requesting station
+// must itself be live.
+func (c *Cluster) FetchOnDemandResilient(pos int, url string) (FetchResult, error) {
+	if c.down[pos] {
+		return FetchResult{}, fmt.Errorf("%w: station %d is down", ErrNoStation, pos)
+	}
+	st, err := c.Station(pos)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	if obj, err := st.Store.ObjectByURL(url); err == nil && obj.Form != schema.FormReference {
+		return FetchResult{Local: true, ServedBy: pos}, nil
+	}
+	holder, err := c.holderOnLivePath(pos, url)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	bundle, err := holder.Store.ExportBundle(url)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	size := bundle.TotalBytes()
+	begin := c.sim.Now()
+	var finished time.Duration
+	if err := c.sim.Transfer(c.ids[holder.Pos-1], c.ids[pos-1], size, func(at time.Duration) {
+		finished = at
+	}); err != nil {
+		return FetchResult{}, err
+	}
+	c.sim.Run()
+	st.fetches[url]++
+	res := FetchResult{Latency: finished - begin, ServedBy: holder.Pos, Bytes: size}
+	if c.cfg.Watermark >= 0 && st.fetches[url] > c.cfg.Watermark {
+		if _, err := st.Store.ImportBundle(bundle, pos, false); err != nil {
+			return FetchResult{}, err
+		}
+		res.Replicated = true
+	}
+	return res, nil
+}

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/docdb"
+	"repro/internal/minisql"
+	"repro/internal/transport"
+)
+
+// Node exposes one station's document database over TCP — the deployed
+// (non-simulated) form of a station, used by the webdocd daemon and the
+// multi-node integration tests. The same docdb semantics run under both
+// fabrics; netsim measures time, Node moves real bytes.
+type Node struct {
+	Pos   int
+	Store *docdb.Store
+	srv   *transport.Server
+	sql   *minisql.Session
+}
+
+// PingReply describes a station to administrative clients.
+type PingReply struct {
+	Pos     int
+	Tables  []string
+	Objects int64
+}
+
+// BundleRequest asks for a document's transferable closure.
+type BundleRequest struct {
+	URL string
+}
+
+// ImportRequest installs a bundle on the receiving station.
+type ImportRequest struct {
+	Bundle     docdb.Bundle
+	Persistent bool
+}
+
+// ImportReply reports the resulting document object.
+type ImportReply struct {
+	ObjectID string
+	Form     string
+}
+
+// SQLRequest carries one minisql statement.
+type SQLRequest struct {
+	Stmt string
+}
+
+// SQLReply carries a rendered result set (values are formatted, so the
+// reply is gob-stable regardless of column types).
+type SQLReply struct {
+	Columns  []string
+	Rows     [][]string
+	Affected int
+	Msg      string
+}
+
+// NewNode wraps a station store in an RPC service.
+func NewNode(pos int, store *docdb.Store) *Node {
+	n := &Node{Pos: pos, Store: store, sql: minisql.NewSession(store.Rel())}
+	n.srv = transport.NewServer()
+	n.srv.Handle("Ping", n.handlePing)
+	n.srv.Handle("Bundle", n.handleBundle)
+	n.srv.Handle("Import", n.handleImport)
+	n.srv.Handle("SQL", n.handleSQL)
+	return n
+}
+
+// Start begins serving on the address and returns the bound address.
+func (n *Node) Start(addr string) (string, error) {
+	return n.srv.Listen(addr)
+}
+
+// Close stops the service.
+func (n *Node) Close() error { return n.srv.Close() }
+
+func (n *Node) handlePing(decode func(any) error) (any, error) {
+	var req struct{}
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	var objects int64
+	if count, err := n.Store.Rel().Count("doc_objects"); err == nil {
+		objects = int64(count)
+	}
+	return PingReply{Pos: n.Pos, Tables: n.Store.Rel().Tables(), Objects: objects}, nil
+}
+
+func (n *Node) handleBundle(decode func(any) error) (any, error) {
+	var req BundleRequest
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	b, err := n.Store.ExportBundle(req.URL)
+	if err != nil {
+		return nil, err
+	}
+	return *b, nil
+}
+
+func (n *Node) handleImport(decode func(any) error) (any, error) {
+	var req ImportRequest
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	obj, err := n.Store.ImportBundle(&req.Bundle, n.Pos, req.Persistent)
+	if err != nil {
+		return nil, err
+	}
+	return ImportReply{ObjectID: obj.ID, Form: obj.Form}, nil
+}
+
+func (n *Node) handleSQL(decode func(any) error) (any, error) {
+	var req SQLRequest
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	res, err := n.sql.Exec(req.Stmt)
+	if err != nil {
+		return nil, err
+	}
+	reply := SQLReply{Columns: res.Columns, Affected: res.Affected, Msg: res.Msg}
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			switch x := v.(type) {
+			case nil:
+				cells[i] = "NULL"
+			case []byte:
+				cells[i] = fmt.Sprintf("<%d bytes>", len(x))
+			default:
+				cells[i] = fmt.Sprint(x)
+			}
+		}
+		reply.Rows = append(reply.Rows, cells)
+	}
+	return reply, nil
+}
+
+// RemoteStation is a typed client for a Node.
+type RemoteStation struct {
+	c *transport.Client
+}
+
+// DialStation connects to a station daemon.
+func DialStation(addr string) (*RemoteStation, error) {
+	c, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteStation{c: c}, nil
+}
+
+// Close releases the connection.
+func (r *RemoteStation) Close() error { return r.c.Close() }
+
+// Ping fetches station info.
+func (r *RemoteStation) Ping() (PingReply, error) {
+	var reply PingReply
+	err := r.c.Call("Ping", struct{}{}, &reply)
+	return reply, err
+}
+
+// FetchBundle pulls a document's closure from the station.
+func (r *RemoteStation) FetchBundle(url string) (*docdb.Bundle, error) {
+	var b docdb.Bundle
+	if err := r.c.Call("Bundle", BundleRequest{URL: url}, &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// Import pushes a bundle onto the station.
+func (r *RemoteStation) Import(b *docdb.Bundle, persistent bool) (ImportReply, error) {
+	var reply ImportReply
+	err := r.c.Call("Import", ImportRequest{Bundle: *b, Persistent: persistent}, &reply)
+	return reply, err
+}
+
+// SQL executes a minisql statement on the station.
+func (r *RemoteStation) SQL(stmt string) (SQLReply, error) {
+	var reply SQLReply
+	err := r.c.Call("SQL", SQLRequest{Stmt: stmt}, &reply)
+	return reply, err
+}

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/docdb"
+	"repro/internal/relstore"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// startNode builds a station store with a course and serves it on a
+// loopback socket.
+func startNode(t *testing.T, pos int, withCourse bool) (*Node, string, workload.CourseSpec) {
+	t.Helper()
+	store, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Now = func() time.Time { return time.Date(1999, 4, 21, 0, 0, 0, 0, time.UTC) }
+	spec := smallCourse(pos)
+	if withCourse {
+		if _, err := workload.BuildCourse(store, spec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.NewInstance(spec.URL, pos, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := NewNode(pos, store)
+	addr, err := n.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n, addr, spec
+}
+
+func TestTCPPing(t *testing.T) {
+	_, addr, _ := startNode(t, 1, true)
+	rs, err := DialStation(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	info, err := rs.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Pos != 1 || len(info.Tables) == 0 || info.Objects != 1 {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestTCPBundleTransferBetweenStations(t *testing.T) {
+	_, addr1, spec := startNode(t, 1, true)
+	node2, addr2, _ := startNode(t, 2, false)
+
+	// Station 2 pulls the lecture from station 1 over real sockets.
+	src, err := DialStation(addr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	bundle, err := src.FetchBundle(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundle.HTML) != 6 || len(bundle.Media) == 0 {
+		t.Fatalf("bundle = %d html, %d media", len(bundle.HTML), len(bundle.Media))
+	}
+
+	dst, err := DialStation(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	reply, err := dst.Import(bundle, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Form != schema.FormInstance {
+		t.Errorf("form = %s", reply.Form)
+	}
+	// The content is now resident on station 2.
+	resident, err := node2.Store.ResidentBytes(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resident == 0 {
+		t.Error("nothing resident after import")
+	}
+	// Byte-identical page content across stations.
+	got, err := node2.Store.HTML(spec.URL, "index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Error("empty page after transfer")
+	}
+}
+
+func TestTCPFetchUnknownBundle(t *testing.T) {
+	_, addr, _ := startNode(t, 1, true)
+	rs, err := DialStation(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if _, err := rs.FetchBundle("http://ghost"); err == nil {
+		t.Error("expected error for unknown URL")
+	}
+}
+
+func TestTCPSQL(t *testing.T) {
+	_, addr, spec := startNode(t, 1, true)
+	rs, err := DialStation(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	reply, err := rs.SQL("SELECT script_name, author FROM scripts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Rows) != 1 || reply.Rows[0][0] != spec.ScriptName {
+		t.Errorf("reply = %+v", reply)
+	}
+	reply, err = rs.SQL("SELECT file_id FROM html_files ORDER BY file_id LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Rows) != 2 {
+		t.Errorf("rows = %d", len(reply.Rows))
+	}
+	// Errors travel back as errors.
+	if _, err := rs.SQL("SELEKT nonsense"); err == nil || !strings.Contains(err.Error(), "minisql") {
+		t.Errorf("err = %v", err)
+	}
+	// Bytes render as placeholders.
+	reply, err = rs.SQL("SELECT content FROM html_files LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply.Rows[0][0], "bytes>") {
+		t.Errorf("bytes cell = %q", reply.Rows[0][0])
+	}
+}

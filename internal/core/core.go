@@ -1,0 +1,260 @@
+// Package core is the integrated Web document database of Shih, Ma &
+// Huang (ICPP 1999): the public facade a virtual-university deployment
+// programs against. It wires together the substrates —
+//
+//   - the relational engine and SQL front end (relstore, minisql)
+//   - the BLOB layer with content sharing (blob)
+//   - the document layer with scripts, implementations, test records,
+//     bug reports, annotations and SCM (docdb, schema)
+//   - the referential integrity diagram with alert propagation
+//     (integrity)
+//   - the hierarchical object-locking table for collaborative editing
+//     (locking)
+//   - the m-ary tree distribution layer with pre-broadcast, on-demand
+//     pull, watermark replication and instance-to-reference migration
+//     (mtree, netsim, cluster)
+//   - the Web document virtual library with search, check-in/out and
+//     assessment (library)
+//   - the white-box/black-box course testing subsystem (webtest)
+//   - the annotation model (annotate)
+//
+// into one University value offering the workflows the paper describes:
+// author a course, publish it to the library, distribute it to student
+// stations before a lecture, collaborate under locks with integrity
+// alerts, test it, and assess students from their library activity.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/annotate"
+	"repro/internal/cluster"
+	"repro/internal/docdb"
+	"repro/internal/integrity"
+	"repro/internal/library"
+	"repro/internal/locking"
+	"repro/internal/netsim"
+	"repro/internal/schema"
+	"repro/internal/webtest"
+	"repro/internal/workload"
+)
+
+// Config sizes a University deployment.
+type Config struct {
+	// Stations is the number of workstations including the instructor
+	// station (station 1).
+	Stations int
+	// M is the distribution tree degree; 0 picks a sensible default.
+	M int
+	// Watermark is the replication watermark frequency (see cluster).
+	Watermark int
+	// UplinkBps and Latency describe the modeled network.
+	UplinkBps float64
+	Latency   time.Duration
+}
+
+// DefaultConfig models a department LAN of 16 stations at 10 Mb/s.
+func DefaultConfig() Config {
+	return Config{
+		Stations:  16,
+		M:         3,
+		Watermark: 1,
+		UplinkBps: 1.25e6,
+		Latency:   5 * time.Millisecond,
+	}
+}
+
+// University is the assembled system.
+type University struct {
+	Cluster *cluster.Cluster
+	Library *library.Library
+	Locks   *locking.Manager
+	Diagram *integrity.Diagram
+	Alerts  *integrity.Queue
+
+	instructor *docdb.Store // station 1's document store
+}
+
+// NewUniversity builds the system.
+func NewUniversity(cfg Config) (*University, error) {
+	if cfg.Stations == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.M == 0 {
+		cfg.M = 3
+	}
+	cl, err := cluster.New(cluster.Config{
+		Stations:  cfg.Stations,
+		M:         cfg.M,
+		UplinkBps: cfg.UplinkBps,
+		Latency:   cfg.Latency,
+		Watermark: cfg.Watermark,
+		Mode:      netsim.Sequential,
+	})
+	if err != nil {
+		return nil, err
+	}
+	root, err := cl.Station(1)
+	if err != nil {
+		return nil, err
+	}
+	return &University{
+		Cluster:    cl,
+		Library:    library.New(root.Store),
+		Locks:      locking.NewManager(),
+		Diagram:    integrity.Default(),
+		Alerts:     integrity.NewQueue(),
+		instructor: root.Store,
+	}, nil
+}
+
+// InstructorStore exposes the instructor station's document database.
+func (u *University) InstructorStore() *docdb.Store { return u.instructor }
+
+// PublishCourse authors a synthetic course on the instructor station,
+// mirrors references to every student station, and catalogs it in the
+// virtual library under the course number.
+func (u *University) PublishCourse(spec workload.CourseSpec, courseNumber, instructor string) (workload.Course, error) {
+	u.Library.RegisterInstructor(instructor)
+	course, _, err := u.Cluster.AuthorCourse(spec)
+	if err != nil {
+		return workload.Course{}, err
+	}
+	if err := u.Cluster.BroadcastReferences(spec.URL); err != nil {
+		return workload.Course{}, err
+	}
+	if err := u.Library.Add(spec.ScriptName, courseNumber, instructor); err != nil {
+		return workload.Course{}, err
+	}
+	return course, nil
+}
+
+// Distribute pre-broadcasts the lecture bundle to every station and
+// returns the slowest station's completion time and the bundle size.
+func (u *University) Distribute(url string) (time.Duration, int64, error) {
+	times, size, err := u.Cluster.PreBroadcast(url)
+	if err != nil {
+		return 0, 0, err
+	}
+	var max time.Duration
+	for _, t := range times {
+		if t > max {
+			max = t
+		}
+	}
+	return max, size, nil
+}
+
+// EndLecture migrates student-station copies back to references,
+// returning the reclaimed buffer bytes.
+func (u *University) EndLecture(url string) (int64, error) {
+	return u.Cluster.EndLecture(url)
+}
+
+// EditScript performs one collaborative edit of a script on the
+// instructor station: write-lock the script subtree, check it out,
+// apply fn, check it in, release the lock, then propagate referential
+// integrity alerts to the editing instructor's queue. It returns the
+// number of alerts raised.
+func (u *University) EditScript(ctx context.Context, instructor, scriptName string, fn func(*docdb.Store) error) (int, error) {
+	sc, err := u.instructor.Script(scriptName)
+	if err != nil {
+		return 0, err
+	}
+	path := locking.Path{sc.DBName, scriptName}
+	lock, err := u.Locks.Acquire(ctx, instructor, path, locking.Write)
+	if err != nil {
+		return 0, err
+	}
+	defer lock.Release()
+
+	co, err := u.instructor.CheckOut(schema.KindScript, scriptName, instructor)
+	if err != nil {
+		return 0, err
+	}
+	if err := fn(u.instructor); err != nil {
+		return 0, err
+	}
+	if err := u.instructor.CheckIn(co, "edit by "+instructor); err != nil {
+		return 0, err
+	}
+	alerts, err := u.Diagram.Propagate(integrity.DocResolver{Store: u.instructor}, schema.KindScript, scriptName)
+	if err != nil {
+		return 0, err
+	}
+	u.Alerts.Push(instructor, alerts)
+	return len(alerts), nil
+}
+
+// Annotate stores one instructor's annotation document over an
+// implementation, validating and encoding it.
+func (u *University) Annotate(instructor, url string, doc *annotate.Document) error {
+	if err := doc.Validate(); err != nil {
+		return err
+	}
+	impl, err := u.instructor.Implementation(url)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("ann-%s-%s", impl.ScriptName, instructor)
+	return u.instructor.SaveAnnotation(docdb.Annotation{
+		Name:        name,
+		ScriptName:  impl.ScriptName,
+		StartingURL: url,
+		Author:      instructor,
+		File:        doc.Encode(),
+	})
+}
+
+// Annotations decodes every annotation stored over an implementation.
+func (u *University) Annotations(url string) ([]*annotate.Document, error) {
+	rows, err := u.instructor.Annotations(url)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*annotate.Document, 0, len(rows))
+	for _, a := range rows {
+		doc, err := annotate.Decode(a.File)
+		if err != nil {
+			return nil, fmt.Errorf("annotation %s: %w", a.Name, err)
+		}
+		out = append(out, doc)
+	}
+	return out, nil
+}
+
+// TestCourse runs the white-box testing subsystem against an
+// implementation on the instructor station, persisting the test record
+// and any bug report.
+func (u *University) TestCourse(url, qaEngineer string, seq int) (testName, bugName string, err error) {
+	suite := &webtest.Suite{Store: u.instructor}
+	return suite.Report(url, qaEngineer, seq)
+}
+
+// Complexity estimates the course complexity of an implementation.
+func (u *University) Complexity(url string) (webtest.Complexity, error) {
+	suite := &webtest.Suite{Store: u.instructor}
+	return suite.Complexity(url)
+}
+
+// Search queries the virtual library.
+func (u *University) Search(q library.Query) []library.Result {
+	return u.Library.Search(q)
+}
+
+// StudentCheckOut opens a library checkout for a student.
+func (u *University) StudentCheckOut(scriptName, student string) (string, error) {
+	return u.Library.CheckOut(scriptName, student)
+}
+
+// StudentCheckIn closes a library checkout.
+func (u *University) StudentCheckIn(checkoutID string) error {
+	return u.Library.CheckIn(checkoutID)
+}
+
+// Assess summarizes a student's library activity.
+func (u *University) Assess(student string) (library.Assessment, error) {
+	return u.Library.Assess(student)
+}

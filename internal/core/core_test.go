@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/annotate"
+	"repro/internal/docdb"
+	"repro/internal/library"
+	"repro/internal/workload"
+)
+
+func smallSpec(n int) workload.CourseSpec {
+	spec := workload.DefaultSpec(n)
+	spec.Pages = 6
+	spec.ExtraLinks = 2
+	spec.ImagesPerPage = 1
+	spec.VideoEvery = 0
+	spec.AudioEvery = 3
+	spec.MediaScaleDown = 16384
+	return spec
+}
+
+func newUniversity(t *testing.T) *University {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Stations = 7
+	u, err := NewUniversity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestPublishDistributeLectureCycle(t *testing.T) {
+	u := newUniversity(t)
+	spec := smallSpec(1)
+	course, err := u.PublishCourse(spec, "CS-101", "Shih")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if course.PageCount != 6 {
+		t.Errorf("course = %+v", course)
+	}
+	// Library knows the course.
+	hits := u.Search(library.Query{Course: "CS-101"})
+	if len(hits) != 1 || hits[0].Entry.ScriptName != spec.ScriptName {
+		t.Fatalf("hits = %+v", hits)
+	}
+	// Distribute to all stations.
+	slowest, size, err := u.Distribute(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowest <= 0 || size <= 0 {
+		t.Errorf("distribute = %v, %d", slowest, size)
+	}
+	// Students play the lecture without stalls.
+	rep, err := u.Cluster.Playback(5, spec.URL, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stalls != 0 {
+		t.Errorf("stalls = %d after distribution", rep.Stalls)
+	}
+	// End of lecture reclaims buffers.
+	freed, err := u.EndLecture(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed <= 0 {
+		t.Errorf("freed = %d", freed)
+	}
+}
+
+func TestEditScriptLocksAndAlerts(t *testing.T) {
+	u := newUniversity(t)
+	spec := smallSpec(2)
+	if _, err := u.PublishCourse(spec, "MM-201", "Ma"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := u.EditScript(context.Background(), "Ma", spec.ScriptName, func(s *docdb.Store) error {
+		return s.SetProgress(spec.ScriptName, 55)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One implementation + its files and media + the catalog is clean of
+	// test records, so alerts = impl + html(6) + media rows.
+	if n == 0 {
+		t.Fatal("no integrity alerts raised")
+	}
+	pending := u.Alerts.Pending("Ma")
+	if len(pending) != n {
+		t.Errorf("pending = %d, want %d", len(pending), n)
+	}
+	// The edit went through checkout: history has one version.
+	hist, err := u.InstructorStore().History("script", spec.ScriptName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 {
+		t.Errorf("history = %+v", hist)
+	}
+	sc, _ := u.InstructorStore().Script(spec.ScriptName)
+	if sc.PctComplete != 55 {
+		t.Errorf("pct = %v", sc.PctComplete)
+	}
+}
+
+func TestAnnotateRoundTrip(t *testing.T) {
+	u := newUniversity(t)
+	spec := smallSpec(3)
+	if _, err := u.PublishCourse(spec, "ED-110", "Huang"); err != nil {
+		t.Fatal(err)
+	}
+	doc := &annotate.Document{
+		Author:  "Huang",
+		PageURL: spec.URL + "/index.html",
+		Primitives: []annotate.Primitive{
+			{Kind: annotate.PrimLine, At: time.Second, Points: []annotate.Point{{X: 0, Y: 0}, {X: 5, Y: 5}}},
+		},
+	}
+	if err := u.Annotate("Huang", spec.URL, doc); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := u.Annotations(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 || docs[0].Author != "Huang" || len(docs[0].Primitives) != 1 {
+		t.Errorf("docs = %+v", docs)
+	}
+	// Invalid annotations are rejected before storage.
+	bad := &annotate.Document{Primitives: []annotate.Primitive{{Kind: annotate.PrimLine}}}
+	if err := u.Annotate("Huang", spec.URL, bad); err == nil {
+		t.Error("invalid annotation accepted")
+	}
+}
+
+func TestTestCourseAndComplexity(t *testing.T) {
+	u := newUniversity(t)
+	spec := smallSpec(4)
+	if _, err := u.PublishCourse(spec, "CS-102", "Shih"); err != nil {
+		t.Fatal(err)
+	}
+	testName, bugName, err := u.TestCourse(spec.URL, "Huang", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testName == "" {
+		t.Error("no test record")
+	}
+	if bugName != "" {
+		t.Errorf("generated course has bug %s", bugName)
+	}
+	cx, err := u.Complexity(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cx.Pages != 6 || cx.Links == 0 {
+		t.Errorf("complexity = %+v", cx)
+	}
+}
+
+func TestStudentLibraryFlow(t *testing.T) {
+	u := newUniversity(t)
+	spec := smallSpec(5)
+	if _, err := u.PublishCourse(spec, "CS-103", "Shih"); err != nil {
+		t.Fatal(err)
+	}
+	co, err := u.StudentCheckOut(spec.ScriptName, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.StudentCheckIn(co); err != nil {
+		t.Fatal(err)
+	}
+	a, err := u.Assess("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checkouts != 1 || a.DistinctDocs != 1 {
+		t.Errorf("assessment = %+v", a)
+	}
+}
+
+func TestDefaultConfigFills(t *testing.T) {
+	u, err := NewUniversity(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Cluster.Size() != 16 || u.Cluster.M() != 3 {
+		t.Errorf("defaults: %d stations, m=%d", u.Cluster.Size(), u.Cluster.M())
+	}
+}

@@ -1,0 +1,581 @@
+package docdb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/relstore"
+	"repro/internal/schema"
+)
+
+// DocObject is one Web Document object form of section 4: a class (a
+// reusable template owning the physical BLOBs), an instance (a physical
+// element of a Web document), or a reference to an instance held on
+// another station.
+type DocObject struct {
+	ID          string
+	Form        string // schema.FormClass | FormInstance | FormReference
+	StartingURL string
+	Station     int64 // station holding this object
+	Origin      int64 // for references: station holding the instance
+	ClassID     string
+	Persistent  bool // instructor-station objects persist; student copies are buffers
+	Created     time.Time
+}
+
+func objectFromRow(r relstore.Row) DocObject {
+	return DocObject{
+		ID:          rowString(r, "obj_id"),
+		Form:        rowString(r, "form"),
+		StartingURL: rowString(r, "starting_url"),
+		Station:     rowInt(r, "station"),
+		Origin:      rowInt(r, "origin"),
+		ClassID:     rowString(r, "class_id"),
+		Persistent:  rowBool(r, "persistent"),
+		Created:     rowTime(r, "created"),
+	}
+}
+
+// NewInstance records that this station holds a physical instance of
+// the implementation.
+func (s *Store) NewInstance(url string, station int, persistent bool) (DocObject, error) {
+	obj := DocObject{
+		ID:          s.nextID("obj"),
+		Form:        schema.FormInstance,
+		StartingURL: url,
+		Station:     int64(station),
+		Origin:      int64(station),
+		Persistent:  persistent,
+	}
+	return obj, s.insertObject(obj)
+}
+
+// MakeReference records a reference-to-instance: a mirror entry telling
+// this station where the physical instance lives. References are what
+// the paper broadcasts to remote stations when an instance is created.
+func (s *Store) MakeReference(url string, station, origin int) (DocObject, error) {
+	obj := DocObject{
+		ID:          s.nextID("obj"),
+		Form:        schema.FormReference,
+		StartingURL: url,
+		Station:     int64(station),
+		Origin:      int64(origin),
+	}
+	return obj, s.insertObject(obj)
+}
+
+func (s *Store) insertObject(o DocObject) error {
+	return s.rel.Insert(schema.TableDocObjects, relstore.Row{
+		"obj_id":       o.ID,
+		"form":         o.Form,
+		"starting_url": o.StartingURL,
+		"station":      o.Station,
+		"origin":       o.Origin,
+		"class_id":     o.ClassID,
+		"persistent":   o.Persistent,
+		"created":      s.Now(),
+	})
+}
+
+// Object fetches one document object by id.
+func (s *Store) Object(id string) (DocObject, error) {
+	row, err := s.rel.Get(schema.TableDocObjects, id)
+	if err != nil {
+		return DocObject{}, err
+	}
+	return objectFromRow(row), nil
+}
+
+// ObjectsByForm lists document objects of one form.
+func (s *Store) ObjectsByForm(form string) ([]DocObject, error) {
+	rows, err := s.rel.Lookup(schema.TableDocObjects, "form", form)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DocObject, len(rows))
+	for i, r := range rows {
+		out[i] = objectFromRow(r)
+	}
+	return out, nil
+}
+
+// ObjectByURL returns the document object recorded for an
+// implementation on this station, if any.
+func (s *Store) ObjectByURL(url string) (DocObject, error) {
+	rows, err := s.rel.Lookup(schema.TableDocObjects, "starting_url", url)
+	if err != nil {
+		return DocObject{}, err
+	}
+	if len(rows) == 0 {
+		return DocObject{}, fmt.Errorf("%w: no object for %s", relstore.ErrNotFound, url)
+	}
+	return objectFromRow(rows[0]), nil
+}
+
+// DeclareClass turns an instance into a reusable class: the class
+// object now owns the document structure and the physical BLOBs, while
+// the original instance keeps its structure with pointers into the
+// class (section 4). In the content-addressed BLOB layer the bytes were
+// already shared; the class row transfers logical ownership.
+func (s *Store) DeclareClass(instanceID string) (DocObject, error) {
+	inst, err := s.Object(instanceID)
+	if err != nil {
+		return DocObject{}, err
+	}
+	if inst.Form != schema.FormInstance {
+		return DocObject{}, fmt.Errorf("%w: %s is a %s", ErrWrongForm, instanceID, inst.Form)
+	}
+	class := DocObject{
+		ID:          s.nextID("obj"),
+		Form:        schema.FormClass,
+		StartingURL: inst.StartingURL,
+		Station:     inst.Station,
+		Origin:      inst.Station,
+		Persistent:  true,
+	}
+	if err := s.insertObject(class); err != nil {
+		return DocObject{}, err
+	}
+	if err := s.rel.Update(schema.TableDocObjects, instanceID, relstore.Row{"class_id": class.ID}); err != nil {
+		return DocObject{}, err
+	}
+	return class, nil
+}
+
+// Instantiate creates a new document instance from a class: the class's
+// structure (HTML and program files) is copied to the new starting URL
+// and pointers to the class's multimedia data are created — no BLOB
+// bytes are duplicated (prototype reuse of section 4).
+func (s *Store) Instantiate(classID, newURL string, station int) (DocObject, error) {
+	class, err := s.Object(classID)
+	if err != nil {
+		return DocObject{}, err
+	}
+	if class.Form != schema.FormClass {
+		return DocObject{}, fmt.Errorf("%w: %s is a %s", ErrWrongForm, classID, class.Form)
+	}
+	srcImpl, err := s.Implementation(class.StartingURL)
+	if err != nil {
+		return DocObject{}, err
+	}
+	if err := s.copyStructure(class.StartingURL, newURL, srcImpl.ScriptName, srcImpl.Author); err != nil {
+		return DocObject{}, err
+	}
+	obj := DocObject{
+		ID:          s.nextID("obj"),
+		Form:        schema.FormInstance,
+		StartingURL: newURL,
+		Station:     int64(station),
+		Origin:      int64(station),
+		ClassID:     classID,
+	}
+	return obj, s.insertObject(obj)
+}
+
+// DuplicateComponent duplicates a reusable compound object to a new
+// starting URL with the document-layer files copied (they are
+// "relatively smaller sizes, such as HTML files") and the BLOBs shared,
+// exactly as section 3 prescribes.
+func (s *Store) DuplicateComponent(url, newURL, author string) error {
+	srcImpl, err := s.Implementation(url)
+	if err != nil {
+		return err
+	}
+	return s.copyStructure(url, newURL, srcImpl.ScriptName, author)
+}
+
+// copyStructure clones the implementation row, its HTML and program
+// files, and shares its media refs under a new starting URL.
+func (s *Store) copyStructure(srcURL, dstURL, scriptName, author string) error {
+	if err := s.AddImplementation(Implementation{StartingURL: dstURL, ScriptName: scriptName, Author: author}); err != nil {
+		return err
+	}
+	html, err := s.HTMLFiles(srcURL)
+	if err != nil {
+		return err
+	}
+	for _, f := range html {
+		content := make([]byte, len(f.Content))
+		copy(content, f.Content)
+		if err := s.PutHTML(dstURL, f.Path, content); err != nil {
+			return err
+		}
+	}
+	progs, err := s.ProgramFiles(srcURL)
+	if err != nil {
+		return err
+	}
+	for _, f := range progs {
+		content := make([]byte, len(f.Content))
+		copy(content, f.Content)
+		if err := s.PutProgram(dstURL, f.Path, f.Language, content); err != nil {
+			return err
+		}
+	}
+	media, err := s.ImplMedia(srcURL)
+	if err != nil {
+		return err
+	}
+	for _, m := range media {
+		if _, err := s.ShareImplMedia(dstURL, m.Name, m.Ref); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MigrateToReference converts a non-persistent local instance into a
+// reference, freeing the document content and releasing the BLOBs it
+// held: "after a lecture is presented, duplicated document instances
+// migrate to document references. Essentially, buffer spaces are used
+// only" (section 4). Persistent (instructor-station) instances refuse
+// to migrate.
+func (s *Store) MigrateToReference(objID string, origin int) error {
+	obj, err := s.Object(objID)
+	if err != nil {
+		return err
+	}
+	if obj.Form != schema.FormInstance {
+		return fmt.Errorf("%w: %s is a %s", ErrWrongForm, objID, obj.Form)
+	}
+	if obj.Persistent {
+		return fmt.Errorf("%w: %s is persistent", ErrWrongForm, objID)
+	}
+	if err := s.dropContent(obj.StartingURL); err != nil {
+		return err
+	}
+	return s.rel.Update(schema.TableDocObjects, objID, relstore.Row{
+		"form":   schema.FormReference,
+		"origin": int64(origin),
+	})
+}
+
+// dropContent deletes the document-layer files of an implementation and
+// releases its BLOB references. The implementation row itself survives
+// (it is small metadata a reference still needs).
+func (s *Store) dropContent(url string) error {
+	html, err := s.HTMLFiles(url)
+	if err != nil {
+		return err
+	}
+	for _, f := range html {
+		if err := s.rel.Delete(schema.TableHTMLFiles, f.ID); err != nil {
+			return err
+		}
+	}
+	progs, err := s.ProgramFiles(url)
+	if err != nil {
+		return err
+	}
+	for _, f := range progs {
+		if err := s.rel.Delete(schema.TableProgFiles, f.ID); err != nil {
+			return err
+		}
+	}
+	media, err := s.ImplMedia(url)
+	if err != nil {
+		return err
+	}
+	for _, m := range media {
+		if err := s.rel.Delete(schema.TableImplMedia, m.ResID); err != nil {
+			return err
+		}
+		if err := s.blobs.Release(m.Ref); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteImplementation removes an implementation and everything hanging
+// off it — files, media descriptors (releasing the BLOBs), annotations,
+// test records with their bug reports, and document objects — in
+// FK-safe order. The script survives.
+func (s *Store) DeleteImplementation(url string) error {
+	if _, err := s.Implementation(url); err != nil {
+		return err
+	}
+	// Bug reports -> test records referencing this implementation.
+	tests, err := s.rel.Lookup(schema.TableTestRecords, "starting_url", url)
+	if err != nil {
+		return err
+	}
+	for _, tr := range tests {
+		name := rowString(tr, "test_name")
+		bugs, err := s.BugReports(name)
+		if err != nil {
+			return err
+		}
+		for _, b := range bugs {
+			if err := s.rel.Delete(schema.TableBugReports, b.Name); err != nil {
+				return err
+			}
+		}
+		if err := s.rel.Delete(schema.TableTestRecords, name); err != nil {
+			return err
+		}
+	}
+	anns, err := s.Annotations(url)
+	if err != nil {
+		return err
+	}
+	for _, a := range anns {
+		if err := s.rel.Delete(schema.TableAnnotations, a.Name); err != nil {
+			return err
+		}
+	}
+	objs, err := s.rel.Lookup(schema.TableDocObjects, "starting_url", url)
+	if err != nil {
+		return err
+	}
+	for _, o := range objs {
+		if err := s.rel.Delete(schema.TableDocObjects, rowString(o, "obj_id")); err != nil {
+			return err
+		}
+	}
+	if err := s.dropContent(url); err != nil {
+		return err
+	}
+	return s.rel.Delete(schema.TableImpls, url)
+}
+
+// DeleteScript removes a script and all of its implementations (the
+// instructor's delete privilege of section 5). Script-level media is
+// released from the BLOB layer.
+func (s *Store) DeleteScript(name string) error {
+	impls, err := s.Implementations(name)
+	if err != nil {
+		return err
+	}
+	for _, im := range impls {
+		if err := s.DeleteImplementation(im.StartingURL); err != nil {
+			return err
+		}
+	}
+	// Test records attached to the script without an implementation.
+	tests, err := s.TestRecords(name)
+	if err != nil {
+		return err
+	}
+	for _, tr := range tests {
+		bugs, err := s.BugReports(tr.Name)
+		if err != nil {
+			return err
+		}
+		for _, b := range bugs {
+			if err := s.rel.Delete(schema.TableBugReports, b.Name); err != nil {
+				return err
+			}
+		}
+		if err := s.rel.Delete(schema.TableTestRecords, tr.Name); err != nil {
+			return err
+		}
+	}
+	// Script-only annotations.
+	anns, err := s.rel.Lookup(schema.TableAnnotations, "script_name", name)
+	if err != nil {
+		return err
+	}
+	for _, a := range anns {
+		if err := s.rel.Delete(schema.TableAnnotations, rowString(a, "ann_name")); err != nil {
+			return err
+		}
+	}
+	media, err := s.ScriptMedia(name)
+	if err != nil {
+		return err
+	}
+	for _, m := range media {
+		if err := s.rel.Delete(schema.TableScriptMedia, m.ResID); err != nil {
+			return err
+		}
+		if err := s.blobs.Release(m.Ref); err != nil {
+			return err
+		}
+	}
+	return s.rel.Delete(schema.TableScripts, name)
+}
+
+// ResidentBytes reports the document-layer and BLOB-layer bytes this
+// station holds for one implementation. Shared BLOBs count once per
+// reference here; physical disk use is the blob store's business.
+func (s *Store) ResidentBytes(url string) (int64, error) {
+	var total int64
+	html, err := s.HTMLFiles(url)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range html {
+		total += int64(len(f.Content))
+	}
+	progs, err := s.ProgramFiles(url)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range progs {
+		total += int64(len(f.Content))
+	}
+	media, err := s.ImplMedia(url)
+	if err != nil {
+		return 0, err
+	}
+	for _, m := range media {
+		total += m.Ref.Size
+	}
+	return total, nil
+}
+
+// BundleMedia is one multimedia resource carried inside a bundle.
+type BundleMedia struct {
+	Name string
+	Kind blob.Kind
+	Data []byte
+}
+
+// Bundle is the transferable closure of one Web document: the script,
+// one implementation, its files, its media bytes and its annotations.
+// Bundles are what the distribution layer pre-broadcasts down the m-ary
+// tree and what on-demand pulls return. The zero Bundle is empty; all
+// fields are exported so encoding/gob can move bundles between
+// stations.
+type Bundle struct {
+	Script      Script
+	Impl        Implementation
+	HTML        []File
+	Programs    []File
+	Media       []BundleMedia
+	Annotations []Annotation
+}
+
+// TotalBytes is the transfer size of the bundle: file contents plus
+// media bytes plus a small metadata overhead per object.
+func (b *Bundle) TotalBytes() int64 {
+	const perObjectOverhead = 256
+	var total int64
+	for _, f := range b.HTML {
+		total += int64(len(f.Content)) + perObjectOverhead
+	}
+	for _, f := range b.Programs {
+		total += int64(len(f.Content)) + perObjectOverhead
+	}
+	for _, m := range b.Media {
+		total += int64(len(m.Data)) + perObjectOverhead
+	}
+	for _, a := range b.Annotations {
+		total += int64(len(a.File)) + perObjectOverhead
+	}
+	return total + perObjectOverhead
+}
+
+// ExportBundle assembles the transferable closure of an implementation
+// resident on this station.
+func (s *Store) ExportBundle(url string) (*Bundle, error) {
+	impl, err := s.Implementation(url)
+	if err != nil {
+		return nil, err
+	}
+	script, err := s.Script(impl.ScriptName)
+	if err != nil {
+		return nil, err
+	}
+	html, err := s.HTMLFiles(url)
+	if err != nil {
+		return nil, err
+	}
+	progs, err := s.ProgramFiles(url)
+	if err != nil {
+		return nil, err
+	}
+	mediaRefs, err := s.ImplMedia(url)
+	if err != nil {
+		return nil, err
+	}
+	var media []BundleMedia
+	for _, m := range mediaRefs {
+		data, err := s.blobs.Get(m.Ref)
+		if err != nil {
+			return nil, fmt.Errorf("%w: media %s of %s", ErrNotResident, m.Name, url)
+		}
+		media = append(media, BundleMedia{Name: m.Name, Kind: m.Kind, Data: data})
+	}
+	anns, err := s.Annotations(url)
+	if err != nil {
+		return nil, err
+	}
+	return &Bundle{
+		Script:      script,
+		Impl:        impl,
+		HTML:        html,
+		Programs:    progs,
+		Media:       media,
+		Annotations: anns,
+	}, nil
+}
+
+// ImportBundle installs a received bundle on this station, creating the
+// database, script and implementation when missing, and returns the
+// local instance object. Media bytes go through the BLOB layer, so
+// resources already resident are shared, not duplicated.
+func (s *Store) ImportBundle(b *Bundle, station int, persistent bool) (DocObject, error) {
+	// Re-importing a resident instance is a no-op: the content is
+	// already here and duplicating the media descriptors would distort
+	// the disk accounting.
+	if obj, err := s.ObjectByURL(b.Impl.StartingURL); err == nil && obj.Form == schema.FormInstance {
+		return obj, nil
+	}
+	if !s.rel.Exists(schema.TableDatabases, b.Script.DBName) {
+		if err := s.CreateDatabase(Database{Name: b.Script.DBName}); err != nil {
+			return DocObject{}, err
+		}
+	}
+	if !s.rel.Exists(schema.TableScripts, b.Script.Name) {
+		if err := s.CreateScript(b.Script); err != nil {
+			return DocObject{}, err
+		}
+	}
+	if !s.rel.Exists(schema.TableImpls, b.Impl.StartingURL) {
+		if err := s.AddImplementation(b.Impl); err != nil {
+			return DocObject{}, err
+		}
+	}
+	for _, f := range b.HTML {
+		if err := s.PutHTML(b.Impl.StartingURL, f.Path, f.Content); err != nil {
+			return DocObject{}, err
+		}
+	}
+	for _, f := range b.Programs {
+		if err := s.PutProgram(b.Impl.StartingURL, f.Path, f.Language, f.Content); err != nil {
+			return DocObject{}, err
+		}
+	}
+	for _, m := range b.Media {
+		if _, err := s.AttachImplMedia(b.Impl.StartingURL, m.Name, m.Kind, m.Data); err != nil {
+			return DocObject{}, err
+		}
+	}
+	for _, a := range b.Annotations {
+		if !s.rel.Exists(schema.TableAnnotations, a.Name) {
+			if err := s.SaveAnnotation(a); err != nil {
+				return DocObject{}, err
+			}
+		}
+	}
+	// An existing reference for this URL upgrades to an instance;
+	// otherwise a fresh instance object is recorded.
+	if obj, err := s.ObjectByURL(b.Impl.StartingURL); err == nil {
+		if obj.Form == schema.FormReference {
+			err := s.rel.Update(schema.TableDocObjects, obj.ID, relstore.Row{
+				"form":       schema.FormInstance,
+				"persistent": persistent,
+				"station":    int64(station),
+			})
+			if err != nil {
+				return DocObject{}, err
+			}
+			return s.Object(obj.ID)
+		}
+		return obj, nil
+	}
+	return s.NewInstance(b.Impl.StartingURL, station, persistent)
+}

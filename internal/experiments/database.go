@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/docdb"
+	"repro/internal/integrity"
+	"repro/internal/library"
+	"repro/internal/locking"
+	"repro/internal/mtree"
+	"repro/internal/relstore"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// E6Locking compares collaborative throughput under the paper's
+// hierarchical compatibility table against a single exclusive lock over
+// the whole course database. Critical sections sleep rather than spin,
+// so the measured difference is blocking structure, not CPU count.
+func E6Locking(scale Scale) (*Table, error) {
+	opsPerUser := 30
+	if scale == Full {
+		opsPerUser = 120
+	}
+	const users = 8
+	const components = 16
+	const hold = 500 * time.Microsecond
+	t := &Table{
+		ID:     "E6",
+		Title:  "collaborative editing throughput: hierarchical locks vs one global lock",
+		Header: []string{"scheme", "users", "ops", "elapsed (s)", "ops/sec"},
+		Notes:  []string{"90/10 read/write mix over 16 components, 0.5 ms hold time per op"},
+	}
+
+	run := func(scheme string, global bool) error {
+		m := locking.NewManager()
+		var wg sync.WaitGroup
+		start := time.Now()
+		for u := 0; u < users; u++ {
+			user := fmt.Sprintf("instr%d", u)
+			rng := rand.New(rand.NewSource(int64(100 + u)))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < opsPerUser; i++ {
+					mode := locking.Read
+					if rng.Intn(10) == 0 {
+						mode = locking.Write
+					}
+					var path locking.Path
+					if global {
+						// The baseline write-locks the whole database
+						// for every operation.
+						path = locking.Path{"mmu"}
+						mode = locking.Write
+					} else {
+						path = locking.Path{"mmu", "course", fmt.Sprintf("part%02d", rng.Intn(components))}
+					}
+					lk, err := m.Acquire(context.Background(), user, path, mode)
+					if err != nil {
+						return
+					}
+					time.Sleep(hold)
+					lk.Release()
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		total := users * opsPerUser
+		t.Rows = append(t.Rows, []string{
+			scheme, fmt.Sprint(users), fmt.Sprint(total), seconds(elapsed),
+			fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()),
+		})
+		return nil
+	}
+	if err := run("hierarchical (paper)", false); err != nil {
+		return nil, err
+	}
+	if err := run("single global lock", true); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// E7Integrity seeds a populated document database and counts the alert
+// fan-out the referential integrity diagram produces for updates at
+// each layer of the hierarchy.
+func E7Integrity(scale Scale) (*Table, error) {
+	scripts := 6
+	implsPer := 2
+	if scale == Full {
+		scripts = 20
+		implsPer = 3
+	}
+	t := &Table{
+		ID:     "E7",
+		Title:  "referential-integrity alert fan-out by updated object kind",
+		Header: []string{"updated kind", "alerts", "max depth"},
+		Notes:  []string{fmt.Sprintf("%d scripts x %d implementations, each with pages, media, tests, bugs, annotations", scripts, implsPer)},
+	}
+	store, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+	if err != nil {
+		return nil, err
+	}
+	store.Now = func() time.Time { return time.Date(1999, 4, 21, 0, 0, 0, 0, time.UTC) }
+	if err := store.CreateDatabase(docdb.Database{Name: "mmu"}); err != nil {
+		return nil, err
+	}
+	for s := 0; s < scripts; s++ {
+		script := fmt.Sprintf("script-%03d", s)
+		if err := store.CreateScript(docdb.Script{Name: script, DBName: "mmu"}); err != nil {
+			return nil, err
+		}
+		for i := 0; i < implsPer; i++ {
+			url := fmt.Sprintf("http://mmu/%s/v%d", script, i)
+			if err := store.AddImplementation(docdb.Implementation{StartingURL: url, ScriptName: script}); err != nil {
+				return nil, err
+			}
+			for p := 0; p < 4; p++ {
+				if err := store.PutHTML(url, workload.PagePath(p), []byte("<html><title>p</title></html>")); err != nil {
+					return nil, err
+				}
+			}
+			if err := store.PutProgram(url, "quiz.java", "java", []byte("x")); err != nil {
+				return nil, err
+			}
+			if _, err := store.AttachImplMedia(url, fmt.Sprintf("m-%s-%d.gif", script, i), blob.KindImage, []byte(url)); err != nil {
+				return nil, err
+			}
+			test := fmt.Sprintf("test-%s-%d", script, i)
+			if err := store.RecordTest(docdb.TestRecord{Name: test, ScriptName: script, StartingURL: url, Scope: "local"}); err != nil {
+				return nil, err
+			}
+			if err := store.FileBugReport(docdb.BugReport{Name: "bug-" + test, TestName: test}); err != nil {
+				return nil, err
+			}
+			if err := store.SaveAnnotation(docdb.Annotation{Name: "ann-" + test, ScriptName: script, StartingURL: url}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	d := integrity.Default()
+	r := integrity.DocResolver{Store: store}
+	cases := []struct {
+		kind string
+		id   string
+	}{
+		{schema.KindScript, "script-000"},
+		{schema.KindImplementation, "http://mmu/script-000/v0"},
+		{schema.KindTestRecord, "test-script-000-0"},
+	}
+	for _, cse := range cases {
+		alerts, err := d.Propagate(r, cse.kind, cse.id)
+		if err != nil {
+			return nil, err
+		}
+		maxDepth := 0
+		for _, a := range alerts {
+			if a.Depth > maxDepth {
+				maxDepth = a.Depth
+			}
+		}
+		t.Rows = append(t.Rows, []string{cse.kind, fmt.Sprint(len(alerts)), fmt.Sprint(maxDepth)})
+	}
+	return t, nil
+}
+
+// E8Search measures virtual-library retrieval: the inverted keyword
+// index against the linear catalog scan, across catalog sizes.
+func E8Search(scale Scale) (*Table, error) {
+	sizes := []int{500, 2000}
+	queries := 200
+	if scale == Full {
+		sizes = []int{1000, 10000}
+		queries = 500
+	}
+	t := &Table{
+		ID:     "E8",
+		Title:  "virtual library search: inverted index vs catalog scan",
+		Header: []string{"catalog", "queries", "indexed (ms)", "scan (ms)", "speedup"},
+		Notes:  []string{"2-keyword Zipf queries over a 5000-word vocabulary"},
+	}
+	vocab := workload.Vocabulary(5000)
+	for _, size := range sizes {
+		store, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+		if err != nil {
+			return nil, err
+		}
+		store.Now = func() time.Time { return time.Date(1999, 4, 21, 0, 0, 0, 0, time.UTC) }
+		if err := store.CreateDatabase(docdb.Database{Name: "mmu"}); err != nil {
+			return nil, err
+		}
+		lib := library.New(store)
+		lib.RegisterInstructor("Shih")
+		rng := rand.New(rand.NewSource(5))
+		for d := 0; d < size; d++ {
+			script := fmt.Sprintf("course-%05d", d)
+			err := store.CreateScript(docdb.Script{
+				Name:     script,
+				DBName:   "mmu",
+				Author:   fmt.Sprintf("instructor-%d", d%50),
+				Keywords: workload.PickKeywords(rng, vocab, 4),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := lib.Add(script, fmt.Sprintf("C-%05d", d), "Shih"); err != nil {
+				return nil, err
+			}
+		}
+		qs := make([]library.Query, queries)
+		for i := range qs {
+			qs[i] = library.Query{Keywords: workload.PickKeywords(rng, vocab, 2)}
+		}
+		start := time.Now()
+		var hits int
+		for _, q := range qs {
+			hits += len(lib.Search(q))
+		}
+		indexed := time.Since(start)
+		start = time.Now()
+		var scanHits int
+		for _, q := range qs {
+			scanHits += len(lib.ScanSearch(q))
+		}
+		scanned := time.Since(start)
+		if hits != scanHits {
+			return nil, fmt.Errorf("experiments: E8 disagreement: indexed %d vs scan %d hits", hits, scanHits)
+		}
+		speedup := float64(scanned) / float64(indexed)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(size), fmt.Sprint(queries),
+			fmt.Sprintf("%.2f", indexed.Seconds()*1e3),
+			fmt.Sprintf("%.2f", scanned.Seconds()*1e3),
+			fmt.Sprintf("%.1fx", speedup),
+		})
+	}
+	return t, nil
+}
+
+// E9Formulas regenerates the paper's placement equations: a sample of
+// child/parent positions plus an exhaustive mutual-consistency check.
+func E9Formulas(scale Scale) (*Table, error) {
+	limit := 10000
+	if scale == Full {
+		limit = 100000
+	}
+	t := &Table{
+		ID:     "E9",
+		Title:  "m-ary placement equations (paper section 4)",
+		Header: []string{"m", "station n", "children", "parent of n"},
+		Notes:  []string{fmt.Sprintf("Validate(N=%d) confirms Parent(Child(n,i)) == n for every m in [1,16]", limit)},
+	}
+	for _, m := range []int{2, 3, 4} {
+		for _, n := range []int{1, 2, 3, 5, 13} {
+			kids, err := mtree.Children(n, m, 1000)
+			if err != nil {
+				return nil, err
+			}
+			parent := "-"
+			if n > 1 {
+				p, err := mtree.Parent(n, m)
+				if err != nil {
+					return nil, err
+				}
+				parent = fmt.Sprint(p)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(m), fmt.Sprint(n), fmt.Sprint(kids), parent,
+			})
+		}
+	}
+	for m := 1; m <= 16; m++ {
+		if err := mtree.Validate(limit, m); err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes, "validation passed")
+	return t, nil
+}

@@ -1,0 +1,136 @@
+// Package experiments regenerates the quantitative claims of the paper
+// as tables (E1–E10 in DESIGN.md). The paper itself publishes no
+// numeric tables or figures — its evaluation content is the pair of
+// m-ary placement equations plus qualitative claims about
+// pre-broadcast, BLOB sharing, watermark replication, buffer-space
+// migration, locking and the virtual library — so each experiment here
+// measures one of those claims under the controlled simulator and
+// prints the table the paper would have carried.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result, renderable as aligned text.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table for terminals and EXPERIMENTS.md.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for i, h := range t.Header {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], h)
+	}
+	sb.WriteByte('\n')
+	for i := range t.Header {
+		sb.WriteString(strings.Repeat("-", widths[i]))
+		sb.WriteString("  ")
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			fmt.Fprintf(&sb, "%-*s  ", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Scale selects experiment sizes: Small keeps unit tests fast, Full is
+// what mmubench and EXPERIMENTS.md report.
+type Scale int
+
+// Scales.
+const (
+	Small Scale = iota
+	Full
+)
+
+// seconds renders a duration as fractional seconds.
+func seconds(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// mb renders bytes as mebibytes.
+func mb(b int64) string {
+	return fmt.Sprintf("%.2f", float64(b)/(1<<20))
+}
+
+// All runs every experiment at the given scale, in order.
+func All(scale Scale) ([]*Table, error) {
+	runners := []func(Scale) (*Table, error){
+		E1BroadcastTree,
+		E2Preload,
+		E3BlobSharing,
+		E4Watermark,
+		E5Migration,
+		E6Locking,
+		E7Integrity,
+		E8Search,
+		E9Formulas,
+		E10AdaptiveM,
+		E11Pipelining,
+	}
+	out := make([]*Table, 0, len(runners))
+	for _, run := range runners {
+		t, err := run(scale)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ByID returns the runner for one experiment id (e.g. "e4").
+func ByID(id string) (func(Scale) (*Table, error), bool) {
+	switch strings.ToLower(id) {
+	case "e1":
+		return E1BroadcastTree, true
+	case "e2":
+		return E2Preload, true
+	case "e3":
+		return E3BlobSharing, true
+	case "e4":
+		return E4Watermark, true
+	case "e5":
+		return E5Migration, true
+	case "e6":
+		return E6Locking, true
+	case "e7":
+		return E7Integrity, true
+	case "e8":
+		return E8Search, true
+	case "e9":
+		return E9Formulas, true
+	case "e10":
+		return E10AdaptiveM, true
+	case "e11":
+		return E11Pipelining, true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseSec pulls a float out of a table cell.
+func parseSec(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestE1TreeBeatsChainAndStar(t *testing.T) {
+	tab, err := E1BroadcastTree(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect per-N completion times by degree.
+	times := map[string]map[string]float64{}
+	for _, row := range tab.Rows {
+		n, m := row[0], row[1]
+		if times[n] == nil {
+			times[n] = map[string]float64{}
+		}
+		if row[2] != "-" {
+			times[n][m] = parseSec(t, row[2])
+		}
+	}
+	for n, byM := range times {
+		chain := byM["1"]
+		tree := byM["3"]
+		star, ok := byM[n] // m = N-1 row is labeled with the number
+		if !ok {
+			// find the largest plain-integer degree
+			for m, v := range byM {
+				if m != "1" && m != "2" && m != "3" && m != "4" && m != "8" && m != "N-1 fair-share" {
+					star = v
+				}
+			}
+		}
+		if tree >= chain {
+			t.Errorf("N=%s: tree %.3f not faster than chain %.3f", n, tree, chain)
+		}
+		if star > 0 && tree >= star {
+			t.Errorf("N=%s: tree %.3f not faster than star %.3f", n, tree, star)
+		}
+	}
+	if !strings.Contains(tab.Render(), "E1") {
+		t.Error("render missing id")
+	}
+}
+
+func TestE2PreloadEliminatesStalls(t *testing.T) {
+	tab, err := E2Preload(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	var pre, demand []string
+	for _, row := range tab.Rows {
+		if row[0] == "pre-broadcast" {
+			pre = row
+		} else {
+			demand = row
+		}
+	}
+	if pre[2] != "0" {
+		t.Errorf("preloaded stalls = %s", pre[2])
+	}
+	if demand[2] == "0" {
+		t.Error("on-demand playback had no stalls")
+	}
+	if parseSec(t, demand[3]) <= parseSec(t, pre[3]) {
+		t.Errorf("on-demand stall time %s not above preloaded %s", demand[3], pre[3])
+	}
+}
+
+func TestE3SharingFactorAboveOne(t *testing.T) {
+	tab, err := E3BlobSharing(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Rows[0]
+	physical := parseSec(t, row[2])
+	duplicated := parseSec(t, row[3])
+	if duplicated <= physical {
+		t.Errorf("duplicated %.2f not above physical %.2f", duplicated, physical)
+	}
+	factor := parseSec(t, row[4])
+	if factor <= 1.5 {
+		t.Errorf("sharing factor = %.2f, want > 1.5 under Zipf reuse", factor)
+	}
+}
+
+func TestE4WatermarkShape(t *testing.T) {
+	tab, err := E4Watermark(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byWM := map[string][]string{}
+	for _, row := range tab.Rows {
+		byWM[row[0]] = row
+	}
+	// Never-replicate keeps zero student disk but pays every fetch.
+	never := byWM["-1"]
+	eager := byWM["0"]
+	if never[6] != "0.00" {
+		t.Errorf("watermark -1 student disk = %s", never[6])
+	}
+	if eager[3] == "0" {
+		t.Error("watermark 0 created no replicas")
+	}
+	// Replication reduces average latency relative to never-replicate.
+	if parseSec(t, eager[4]) >= parseSec(t, never[4]) {
+		t.Errorf("avg latency with replication %s not below %s", eager[4], never[4])
+	}
+	// Remote fetches shrink monotonically as watermark loosens from 3 to 0.
+	if parseSec(t, byWM["0"][2]) > parseSec(t, byWM["3"][2]) {
+		t.Errorf("remote fetches: wm0 %s > wm3 %s", byWM["0"][2], byWM["3"][2])
+	}
+}
+
+func TestE5MigrationFreesBuffers(t *testing.T) {
+	tab, err := E5Migration(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		peak := parseSec(t, row[1])
+		after := parseSec(t, row[2])
+		if peak <= 0 {
+			t.Errorf("lecture %s peak = %.2f", row[0], peak)
+		}
+		if after != 0 {
+			t.Errorf("lecture %s disk after migration = %.2f, want 0", row[0], after)
+		}
+	}
+}
+
+func TestE6HierarchicalBeatsGlobal(t *testing.T) {
+	tab, err := E6Locking(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hier, global float64
+	for _, row := range tab.Rows {
+		ops := parseSec(t, row[4])
+		if strings.HasPrefix(row[0], "hierarchical") {
+			hier = ops
+		} else {
+			global = ops
+		}
+	}
+	if hier <= global {
+		t.Errorf("hierarchical %.0f ops/s not above global %.0f", hier, global)
+	}
+}
+
+func TestE7FanoutDecreasesDownTheHierarchy(t *testing.T) {
+	tab, err := E7Integrity(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]float64{}
+	for _, row := range tab.Rows {
+		counts[row[0]] = parseSec(t, row[1])
+	}
+	if counts["script"] <= counts["implementation"] {
+		t.Errorf("script fan-out %.0f should exceed implementation %.0f",
+			counts["script"], counts["implementation"])
+	}
+	if counts["implementation"] <= counts["test_record"] {
+		t.Errorf("implementation fan-out %.0f should exceed test record %.0f",
+			counts["implementation"], counts["test_record"])
+	}
+}
+
+func TestE8IndexFasterThanScan(t *testing.T) {
+	tab, err := E8Search(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		indexed := parseSec(t, row[2])
+		scanned := parseSec(t, row[3])
+		if indexed >= scanned {
+			t.Errorf("catalog %s: indexed %.2fms not below scan %.2fms", row[0], indexed, scanned)
+		}
+	}
+}
+
+func TestE9FormulasValidate(t *testing.T) {
+	tab, err := E9Formulas(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range tab.Notes {
+		if n == "validation passed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("validation note missing")
+	}
+}
+
+func TestE10LargerPayloadSmallerM(t *testing.T) {
+	tab, err := E10AdaptiveM(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under the concurrent fan-out model, tiny latency-bound payloads
+	// pick a strictly larger degree than huge bandwidth-bound payloads;
+	// the contrast shows at the highest bandwidth, where latency
+	// dominates the midi transfer.
+	var midiFan, lectureFan float64
+	for _, row := range tab.Rows {
+		if row[2] != "100 Mb/s" {
+			continue
+		}
+		if row[0] == "midi score" {
+			midiFan = parseSec(t, row[5])
+		}
+		if row[0] == "full lecture" {
+			lectureFan = parseSec(t, row[5])
+		}
+	}
+	if midiFan == 0 || lectureFan == 0 {
+		t.Fatal("rows missing")
+	}
+	if midiFan <= lectureFan {
+		t.Errorf("fan-out m for midi %.0f should exceed full lecture %.0f", midiFan, lectureFan)
+	}
+	// The serial model's choice is payload-independent (a property of
+	// the model the table documents).
+	serial := map[string]bool{}
+	for _, row := range tab.Rows {
+		serial[row[3]] = true
+	}
+	if len(serial) != 1 {
+		t.Errorf("serial model chose multiple degrees: %v", serial)
+	}
+}
+
+func TestAllSmall(t *testing.T) {
+	tables, err := All(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 11 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	ids := map[string]bool{}
+	for _, tab := range tables {
+		if tab.ID == "" || len(tab.Rows) == 0 {
+			t.Errorf("table %q empty", tab.Title)
+		}
+		ids[tab.ID] = true
+		if out := tab.Render(); !strings.Contains(out, tab.ID) {
+			t.Errorf("render of %s missing id", tab.ID)
+		}
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"} {
+		if !ids[id] {
+			t.Errorf("missing %s", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("e4"); !ok {
+		t.Error("e4 not found")
+	}
+	if _, ok := ByID("E10"); !ok {
+		t.Error("E10 not found")
+	}
+	if _, ok := ByID("e99"); ok {
+		t.Error("e99 found")
+	}
+}
+
+func TestE11ChunkingBeatsStoreAndForward(t *testing.T) {
+	tab, err := E11Pipelining(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	base := parseSec(t, tab.Rows[0][2])
+	best := base
+	for _, row := range tab.Rows[1:] {
+		if v := parseSec(t, row[2]); v < best {
+			best = v
+		}
+	}
+	if best >= base {
+		t.Errorf("no chunking row beats store-and-forward %.3f (best %.3f)", base, best)
+	}
+	if base/best < 1.2 {
+		t.Errorf("best speedup = %.2fx, want >= 1.2x on a deep tree", base/best)
+	}
+}

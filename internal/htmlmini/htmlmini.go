@@ -1,0 +1,163 @@
+// Package htmlmini is a tolerant scanner for the HTML subset appearing
+// in Web course documents. It substitutes for the browser-side traversal
+// of the paper's testing subsystem: given a page's bytes it extracts the
+// title, outgoing hyperlinks (a href) and embedded asset references
+// (img/embed/script/audio/video src), which the webtest package walks to
+// find bad URLs, missing objects and redundant files.
+package htmlmini
+
+import (
+	"strings"
+)
+
+// Doc is the scan result for one HTML page.
+type Doc struct {
+	Title  string
+	Links  []string // href targets of <a> elements
+	Assets []string // src targets of img/embed/script/audio/video
+}
+
+// Parse scans a page. It never fails: malformed markup yields whatever
+// could be recovered, the way 90s browsers behaved.
+func Parse(data []byte) Doc {
+	var doc Doc
+	s := string(data)
+	i := 0
+	for i < len(s) {
+		lt := strings.IndexByte(s[i:], '<')
+		if lt < 0 {
+			break
+		}
+		i += lt
+		gt := strings.IndexByte(s[i:], '>')
+		if gt < 0 {
+			break
+		}
+		tag := s[i+1 : i+gt]
+		inner := i + gt + 1
+		i += gt + 1
+		name, attrs := splitTag(tag)
+		switch name {
+		case "a":
+			if href, ok := attrs["href"]; ok && href != "" {
+				doc.Links = append(doc.Links, href)
+			}
+		case "img", "embed", "script", "audio", "video", "bgsound":
+			if src, ok := attrs["src"]; ok && src != "" {
+				doc.Assets = append(doc.Assets, src)
+			}
+		case "title":
+			end := strings.Index(strings.ToLower(s[inner:]), "</title>")
+			if end >= 0 {
+				doc.Title = strings.TrimSpace(s[inner : inner+end])
+			}
+		}
+	}
+	return doc
+}
+
+// splitTag separates the tag name from its attributes. Closing tags,
+// comments and directives return an empty attribute map.
+func splitTag(tag string) (string, map[string]string) {
+	tag = strings.TrimSpace(tag)
+	if tag == "" || tag[0] == '/' || tag[0] == '!' || tag[0] == '?' {
+		return "", nil
+	}
+	nameEnd := len(tag)
+	for j := 0; j < len(tag); j++ {
+		if tag[j] == ' ' || tag[j] == '\t' || tag[j] == '\n' || tag[j] == '\r' {
+			nameEnd = j
+			break
+		}
+	}
+	name := strings.ToLower(tag[:nameEnd])
+	attrs := make(map[string]string)
+	rest := tag[nameEnd:]
+	for {
+		rest = strings.TrimLeft(rest, " \t\r\n")
+		if rest == "" || rest == "/" {
+			break
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			break
+		}
+		key := strings.ToLower(strings.TrimSpace(rest[:eq]))
+		rest = rest[eq+1:]
+		rest = strings.TrimLeft(rest, " \t\r\n")
+		var val string
+		if rest != "" && (rest[0] == '"' || rest[0] == '\'') {
+			quote := rest[0]
+			end := strings.IndexByte(rest[1:], quote)
+			if end < 0 {
+				val = rest[1:]
+				rest = ""
+			} else {
+				val = rest[1 : 1+end]
+				rest = rest[end+2:]
+			}
+		} else {
+			end := strings.IndexAny(rest, " \t\r\n")
+			if end < 0 {
+				val = rest
+				rest = ""
+			} else {
+				val = rest[:end]
+				rest = rest[end:]
+			}
+		}
+		if key != "" {
+			attrs[key] = val
+		}
+	}
+	return name, attrs
+}
+
+// IsExternal reports whether a link target leaves the document set
+// (absolute http/https/ftp/mailto URLs are external; relative paths and
+// fragments are internal).
+func IsExternal(target string) bool {
+	lower := strings.ToLower(target)
+	for _, scheme := range []string{"http://", "https://", "ftp://", "mailto:"} {
+		if strings.HasPrefix(lower, scheme) {
+			return true
+		}
+	}
+	return false
+}
+
+// Normalize strips fragments and leading "./" from an internal link so
+// it can be matched against stored file paths.
+func Normalize(target string) string {
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+	}
+	target = strings.TrimPrefix(target, "./")
+	return target
+}
+
+// Page builds a minimal well-formed course page, used by the workload
+// generator and tests.
+func Page(title string, links, assets []string, body string) []byte {
+	var sb strings.Builder
+	sb.WriteString("<html><head><title>")
+	sb.WriteString(title)
+	sb.WriteString("</title></head><body>\n")
+	sb.WriteString(body)
+	sb.WriteString("\n")
+	for _, l := range links {
+		sb.WriteString(`<a href="`)
+		sb.WriteString(l)
+		sb.WriteString(`">`)
+		sb.WriteString(l)
+		sb.WriteString("</a>\n")
+	}
+	for _, a := range assets {
+		sb.WriteString(`<img src="`)
+		sb.WriteString(a)
+		sb.WriteString(`">`)
+		sb.WriteString("\n")
+	}
+	sb.WriteString("</body></html>\n")
+	return []byte(sb.String())
+}

@@ -1,0 +1,163 @@
+package htmlmini
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseLinksAndAssets(t *testing.T) {
+	page := []byte(`<html><head><title>Lecture 1</title></head><body>
+<a href="page2.html">next</a>
+<a href="http://outside.example/x">external</a>
+<img src="figure.gif">
+<embed src="clip.mpg">
+<script src="quiz.js"></script>
+<audio src="narration.wav">
+</body></html>`)
+	doc := Parse(page)
+	if doc.Title != "Lecture 1" {
+		t.Errorf("title = %q", doc.Title)
+	}
+	if len(doc.Links) != 2 || doc.Links[0] != "page2.html" {
+		t.Errorf("links = %v", doc.Links)
+	}
+	if len(doc.Assets) != 4 {
+		t.Errorf("assets = %v", doc.Assets)
+	}
+}
+
+func TestParseQuoteStyles(t *testing.T) {
+	doc := Parse([]byte(`<a href='single.html'>x</a><a href=bare.html>y</a><a href="double.html">z</a>`))
+	if len(doc.Links) != 3 {
+		t.Fatalf("links = %v", doc.Links)
+	}
+	want := map[string]bool{"single.html": true, "bare.html": true, "double.html": true}
+	for _, l := range doc.Links {
+		if !want[l] {
+			t.Errorf("unexpected link %q", l)
+		}
+	}
+}
+
+func TestParseToleratesMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"<",
+		"<a",
+		"<a href=",
+		`<a href="unterminated`,
+		"no tags at all",
+		"<>><<>",
+		`<a href="ok.html"`,
+		"<!doctype html><!-- comment --><?xml?>",
+	}
+	for _, c := range cases {
+		_ = Parse([]byte(c)) // must not panic
+	}
+	doc := Parse([]byte(`<a href="good.html">x</a><a href="broken`))
+	if len(doc.Links) != 1 || doc.Links[0] != "good.html" {
+		t.Errorf("links = %v", doc.Links)
+	}
+}
+
+func TestParseCaseInsensitiveTags(t *testing.T) {
+	doc := Parse([]byte(`<A HREF="up.html">x</A><IMG SRC="i.gif">`))
+	if len(doc.Links) != 1 || len(doc.Assets) != 1 {
+		t.Errorf("doc = %+v", doc)
+	}
+}
+
+func TestParseEmptyHrefIgnored(t *testing.T) {
+	doc := Parse([]byte(`<a href="">x</a><a name="anchor">y</a>`))
+	if len(doc.Links) != 0 {
+		t.Errorf("links = %v", doc.Links)
+	}
+}
+
+func TestIsExternal(t *testing.T) {
+	cases := map[string]bool{
+		"http://example.com":  true,
+		"HTTPS://example.com": true,
+		"ftp://files":         true,
+		"mailto:x@y":          true,
+		"page2.html":          false,
+		"./page2.html":        false,
+		"sub/dir/page.html":   false,
+		"#fragment":           false,
+	}
+	for target, want := range cases {
+		if got := IsExternal(target); got != want {
+			t.Errorf("IsExternal(%q) = %v", target, got)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"page.html#sec2": "page.html",
+		"./page.html":    "page.html",
+		"#top":           "",
+		"dir/page.html":  "dir/page.html",
+		"./a/b.html#x":   "a/b.html",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPageRoundTrip(t *testing.T) {
+	page := Page("T", []string{"a.html", "b.html"}, []string{"x.gif"}, "hello")
+	doc := Parse(page)
+	if doc.Title != "T" {
+		t.Errorf("title = %q", doc.Title)
+	}
+	if len(doc.Links) != 2 || len(doc.Assets) != 1 {
+		t.Errorf("doc = %+v", doc)
+	}
+}
+
+func TestTitleUnterminated(t *testing.T) {
+	doc := Parse([]byte("<title>never closed"))
+	if doc.Title != "" {
+		t.Errorf("title = %q", doc.Title)
+	}
+}
+
+// Property: Parse never panics and never fabricates links on arbitrary
+// byte soup (the tolerant-browser requirement).
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		doc := Parse(data)
+		for _, l := range doc.Links {
+			if l == "" {
+				return false // empty hrefs must be dropped
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Page always round-trips its links and assets through Parse.
+func TestQuickPageParseRoundTrip(t *testing.T) {
+	f := func(nLinks, nAssets uint8) bool {
+		links := make([]string, int(nLinks%8))
+		for i := range links {
+			links[i] = fmt.Sprintf("l%d.html", i)
+		}
+		assets := make([]string, int(nAssets%8))
+		for i := range assets {
+			assets[i] = fmt.Sprintf("a%d.gif", i)
+		}
+		doc := Parse(Page("T", links, assets, "body"))
+		return len(doc.Links) == len(links) && len(doc.Assets) == len(assets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package integrity
+
+import (
+	"fmt"
+
+	"repro/internal/docdb"
+	"repro/internal/relstore"
+	"repro/internal/schema"
+)
+
+// Default builds the paper's referential integrity diagram over the Web
+// document object kinds: a script update alerts its implementations,
+// which alert their one-or-more HTML files, zero-or-more program files
+// and zero-or-more multimedia resources; test records chain to bug
+// reports; annotations hang off scripts and implementations.
+func Default() *Diagram {
+	d := NewDiagram()
+	for _, k := range []string{
+		schema.KindScript, schema.KindImplementation, schema.KindHTMLFile,
+		schema.KindProgramFile, schema.KindMedia, schema.KindTestRecord,
+		schema.KindBugReport, schema.KindAnnotation,
+	} {
+		d.AddNode(k)
+	}
+	links := []Link{
+		{From: schema.KindScript, To: schema.KindImplementation, Label: "implements", Mult: Plus,
+			Message: "script %s updated; re-validate implementation %s"},
+		{From: schema.KindImplementation, To: schema.KindHTMLFile, Label: "contains-html", Mult: Plus,
+			Message: "implementation %s updated; review HTML file %s"},
+		{From: schema.KindImplementation, To: schema.KindProgramFile, Label: "contains-program", Mult: Star,
+			Message: "implementation %s updated; review control program %s"},
+		{From: schema.KindImplementation, To: schema.KindMedia, Label: "uses-media", Mult: Star,
+			Message: "implementation %s updated; review multimedia resource %s"},
+		{From: schema.KindScript, To: schema.KindTestRecord, Label: "tested-by", Mult: Star,
+			Message: "script %s updated; test record %s may be stale"},
+		{From: schema.KindImplementation, To: schema.KindTestRecord, Label: "tested-by", Mult: Star,
+			Message: "implementation %s updated; re-run test record %s"},
+		{From: schema.KindTestRecord, To: schema.KindBugReport, Label: "reports", Mult: Star,
+			Message: "test record %s updated; re-check bug report %s"},
+		{From: schema.KindScript, To: schema.KindAnnotation, Label: "annotated-by", Mult: Star,
+			Message: "script %s updated; annotation %s may no longer apply"},
+		{From: schema.KindImplementation, To: schema.KindAnnotation, Label: "annotated-by", Mult: Star,
+			Message: "implementation %s updated; annotation %s may no longer apply"},
+	}
+	for _, l := range links {
+		if err := d.AddLink(l); err != nil {
+			// The default diagram is static; a failure here is a
+			// programming error.
+			panic(err)
+		}
+	}
+	return d
+}
+
+// DocResolver resolves diagram dependents against a document store.
+type DocResolver struct {
+	Store *docdb.Store
+}
+
+// Dependents implements Resolver over the docdb tables.
+func (r DocResolver) Dependents(kind, id, targetKind string) ([]string, error) {
+	rel := r.Store.Rel()
+	switch {
+	case kind == schema.KindScript && targetKind == schema.KindImplementation:
+		return pkList(rel, schema.TableImpls, "script_name", id, "starting_url")
+	case kind == schema.KindImplementation && targetKind == schema.KindHTMLFile:
+		return pkList(rel, schema.TableHTMLFiles, "starting_url", id, "file_id")
+	case kind == schema.KindImplementation && targetKind == schema.KindProgramFile:
+		return pkList(rel, schema.TableProgFiles, "starting_url", id, "file_id")
+	case kind == schema.KindImplementation && targetKind == schema.KindMedia:
+		return pkList(rel, schema.TableImplMedia, "starting_url", id, "res_id")
+	case kind == schema.KindScript && targetKind == schema.KindTestRecord:
+		return pkList(rel, schema.TableTestRecords, "script_name", id, "test_name")
+	case kind == schema.KindImplementation && targetKind == schema.KindTestRecord:
+		return pkList(rel, schema.TableTestRecords, "starting_url", id, "test_name")
+	case kind == schema.KindTestRecord && targetKind == schema.KindBugReport:
+		return pkList(rel, schema.TableBugReports, "test_name", id, "bug_name")
+	case kind == schema.KindScript && targetKind == schema.KindAnnotation:
+		return pkList(rel, schema.TableAnnotations, "script_name", id, "ann_name")
+	case kind == schema.KindImplementation && targetKind == schema.KindAnnotation:
+		return pkList(rel, schema.TableAnnotations, "starting_url", id, "ann_name")
+	default:
+		return nil, fmt.Errorf("integrity: no resolver from %s to %s", kind, targetKind)
+	}
+}
+
+// pkList collects one column from an indexed equality lookup.
+func pkList(rel *relstore.DB, table, col, val, out string) ([]string, error) {
+	rows, err := rel.Lookup(table, col, val)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(rows))
+	for _, r := range rows {
+		if s, ok := r[out].(string); ok {
+			ids = append(ids, s)
+		}
+	}
+	return ids, nil
+}

@@ -1,0 +1,119 @@
+// Package minisql implements a small SQL dialect over the relstore
+// engine. It stands in for the ODBC/JDBC connection through which the
+// paper's class administrator front end reaches the commercial SQL
+// server: CREATE TABLE / CREATE INDEX / DROP TABLE, INSERT, SELECT with
+// conjunctive WHERE, ORDER BY and LIMIT, UPDATE, DELETE, plus SHOW
+// TABLES and DESCRIBE for administration.
+package minisql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) , ; * = != <> < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// Error is a syntax or execution error carrying the offending position.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("minisql: %s (at offset %d)", e.Msg, e.Pos)
+}
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex splits the statement into tokens. String literals use single
+// quotes with ” as the escape, per SQL convention.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= len(src) {
+					return nil, errf(start, "unterminated string literal")
+				}
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case unicode.IsDigit(c) || (c == '-' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
+			start := i
+			i++
+			for i < len(src) && (unicode.IsDigit(rune(src[i])) || src[i] == '.' || src[i] == 'e' ||
+				src[i] == 'E' || ((src[i] == '+' || src[i] == '-') && (src[i-1] == 'e' || src[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, token{tokNumber, src[start:i], start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) ||
+				src[i] == '_' || src[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{tokIdent, src[start:i], start})
+		default:
+			start := i
+			// Two-character operators first.
+			if i+1 < len(src) {
+				two := src[i : i+2]
+				if two == "!=" || two == "<>" || two == "<=" || two == ">=" {
+					toks = append(toks, token{tokPunct, two, start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', ';', '*', '=', '<', '>':
+				toks = append(toks, token{tokPunct, string(c), start})
+				i++
+			default:
+				return nil, errf(i, "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+// keyword matching is case-insensitive, as in SQL.
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,362 @@
+package minisql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/relstore"
+)
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	s := NewSession(relstore.NewDB())
+	mustExec(t, s, `CREATE TABLE scripts (
+		script_name TEXT NOT NULL,
+		author TEXT,
+		version INT,
+		pct FLOAT,
+		archived BOOL,
+		PRIMARY KEY (script_name))`)
+	mustExec(t, s, `CREATE TABLE impls (
+		starting_url TEXT NOT NULL,
+		script_name TEXT,
+		PRIMARY KEY (starting_url),
+		FOREIGN KEY (script_name) REFERENCES scripts)`)
+	return s
+}
+
+func mustExec(t *testing.T, s *Session, sql string) *Result {
+	t.Helper()
+	r, err := s.Exec(sql)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return r
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	s := newSession(t)
+	r := mustExec(t, s, `INSERT INTO scripts (script_name, author, version, pct, archived)
+		VALUES ('intro', 'Shih', 1, 10.5, TRUE), ('quiz', 'Ma', 2, 0, FALSE)`)
+	if r.Affected != 2 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+	r = mustExec(t, s, `SELECT script_name, version FROM scripts ORDER BY version DESC`)
+	if len(r.Rows) != 2 || r.Rows[0][0] != "quiz" || r.Rows[0][1] != int64(2) {
+		t.Fatalf("rows = %+v", r.Rows)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `INSERT INTO scripts (script_name) VALUES ('x')`)
+	r := mustExec(t, s, `SELECT * FROM scripts`)
+	if len(r.Columns) != 5 {
+		t.Fatalf("columns = %v", r.Columns)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}
+
+func TestWhereConjunction(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `INSERT INTO scripts (script_name, author, version) VALUES
+		('a', 'Shih', 1), ('b', 'Shih', 2), ('c', 'Ma', 2)`)
+	r := mustExec(t, s, `SELECT script_name FROM scripts WHERE author = 'Shih' AND version >= 2`)
+	if len(r.Rows) != 1 || r.Rows[0][0] != "b" {
+		t.Fatalf("rows = %+v", r.Rows)
+	}
+}
+
+func TestWhereOperators(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `INSERT INTO scripts (script_name, version) VALUES
+		('a', 1), ('b', 2), ('c', 3), ('d', 4)`)
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{`SELECT * FROM scripts WHERE version < 3`, 2},
+		{`SELECT * FROM scripts WHERE version <= 3`, 3},
+		{`SELECT * FROM scripts WHERE version > 3`, 1},
+		{`SELECT * FROM scripts WHERE version != 2`, 3},
+		{`SELECT * FROM scripts WHERE version <> 2`, 3},
+		{`SELECT * FROM scripts WHERE script_name PREFIX 'a'`, 1},
+		{`SELECT * FROM scripts WHERE script_name CONTAINS 'b'`, 1},
+	}
+	for _, c := range cases {
+		r := mustExec(t, s, c.sql)
+		if len(r.Rows) != c.want {
+			t.Errorf("%s: %d rows, want %d", c.sql, len(r.Rows), c.want)
+		}
+	}
+}
+
+func TestUpdateAndDelete(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `INSERT INTO scripts (script_name, version) VALUES ('a', 1), ('b', 1)`)
+	r := mustExec(t, s, `UPDATE scripts SET version = 9 WHERE script_name = 'a'`)
+	if r.Affected != 1 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+	r = mustExec(t, s, `SELECT version FROM scripts WHERE script_name = 'a'`)
+	if r.Rows[0][0] != int64(9) {
+		t.Fatalf("version = %v", r.Rows[0][0])
+	}
+	r = mustExec(t, s, `DELETE FROM scripts WHERE version = 1`)
+	if r.Affected != 1 {
+		t.Fatalf("delete affected = %d", r.Affected)
+	}
+	r = mustExec(t, s, `SELECT * FROM scripts`)
+	if len(r.Rows) != 1 {
+		t.Fatalf("remaining = %d", len(r.Rows))
+	}
+}
+
+func TestInsertAtomicity(t *testing.T) {
+	s := newSession(t)
+	_, err := s.Exec(`INSERT INTO scripts (script_name) VALUES ('a'), ('a')`)
+	if !errors.Is(err, relstore.ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+	r := mustExec(t, s, `SELECT * FROM scripts`)
+	if len(r.Rows) != 0 {
+		t.Fatal("partial insert leaked")
+	}
+}
+
+func TestForeignKeyThroughSQL(t *testing.T) {
+	s := newSession(t)
+	_, err := s.Exec(`INSERT INTO impls (starting_url, script_name) VALUES ('u', 'ghost')`)
+	if !errors.Is(err, relstore.ErrFK) {
+		t.Fatalf("err = %v", err)
+	}
+	mustExec(t, s, `INSERT INTO scripts (script_name) VALUES ('real')`)
+	mustExec(t, s, `INSERT INTO impls (starting_url, script_name) VALUES ('u', 'real')`)
+	_, err = s.Exec(`DELETE FROM scripts WHERE script_name = 'real'`)
+	if !errors.Is(err, relstore.ErrFK) {
+		t.Fatalf("restrict err = %v", err)
+	}
+}
+
+func TestShowTablesAndDescribe(t *testing.T) {
+	s := newSession(t)
+	r := mustExec(t, s, `SHOW TABLES`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("tables = %v", r.Rows)
+	}
+	r = mustExec(t, s, `DESCRIBE impls`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("describe rows = %v", r.Rows)
+	}
+	foundFK := false
+	for _, row := range r.Rows {
+		if strings.Contains(row[2].(string), "REFERENCES scripts") {
+			foundFK = true
+		}
+	}
+	if !foundFK {
+		t.Error("DESCRIBE lost the foreign key")
+	}
+}
+
+func TestCreateIndexStatement(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE INDEX ON scripts (author)`)
+	mustExec(t, s, `INSERT INTO scripts (script_name, author) VALUES ('a', 'x'), ('b', 'x'), ('c', 'y')`)
+	r := mustExec(t, s, `SELECT * FROM scripts WHERE author = 'x'`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `DROP TABLE impls`)
+	if _, err := s.Exec(`SELECT * FROM impls`); !errors.Is(err, relstore.ErrNoTable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `INSERT INTO scripts (script_name, author) VALUES ('o''clock', 'a')`)
+	r := mustExec(t, s, `SELECT author FROM scripts WHERE script_name = 'o''clock'`)
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}
+
+func TestNullLiteral(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `INSERT INTO scripts (script_name, author) VALUES ('a', NULL)`)
+	r := mustExec(t, s, `SELECT author FROM scripts WHERE script_name = 'a'`)
+	if r.Rows[0][0] != nil {
+		t.Fatalf("author = %v", r.Rows[0][0])
+	}
+}
+
+func TestNegativeAndFloatLiterals(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `INSERT INTO scripts (script_name, version, pct) VALUES ('a', -3, 1.5e2)`)
+	r := mustExec(t, s, `SELECT version, pct FROM scripts WHERE script_name = 'a'`)
+	if r.Rows[0][0] != int64(-3) || r.Rows[0][1] != 150.0 {
+		t.Fatalf("row = %v", r.Rows[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELEKT * FROM t`,
+		`SELECT FROM t`,
+		`SELECT * FROM`,
+		`INSERT INTO t VALUES (1)`,
+		`INSERT INTO t (a) VALUES (1, 2)`,
+		`CREATE TABLE t (a WIBBLE, PRIMARY KEY (a))`,
+		`SELECT * FROM t WHERE a ** 1`,
+		`SELECT * FROM t LIMIT x`,
+		`SELECT * FROM t; garbage`,
+		`UPDATE t SET WHERE a = 1`,
+		`'unterminated`,
+		`SELECT * FROM t WHERE a = @`,
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse(`SELECT * FROM t WHERE a ** 1`)
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if pe.Pos <= 0 {
+		t.Errorf("pos = %d, want > 0", pe.Pos)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `INSERT INTO scripts (script_name, version) VALUES ('a', 1)`)
+	r := mustExec(t, s, `SELECT script_name, version FROM scripts`)
+	out := r.Format()
+	if !strings.Contains(out, "script_name") || !strings.Contains(out, "(1 rows)") {
+		t.Errorf("Format output:\n%s", out)
+	}
+	r = mustExec(t, s, `UPDATE scripts SET version = 2 WHERE script_name = 'a'`)
+	if !strings.Contains(r.Format(), "1 row(s) affected") {
+		t.Errorf("affected format: %q", r.Format())
+	}
+}
+
+func TestUpdateWithoutWhereTouchesAll(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `INSERT INTO scripts (script_name, version) VALUES ('a', 1), ('b', 2)`)
+	r := mustExec(t, s, `UPDATE scripts SET version = 0`)
+	if r.Affected != 2 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+}
+
+func TestMultiRowInsertThenAggregateScan(t *testing.T) {
+	s := newSession(t)
+	var sb strings.Builder
+	sb.WriteString(`INSERT INTO scripts (script_name, version) VALUES `)
+	for i := 0; i < 100; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(`('s` + string(rune('0'+i/10%10)) + string(rune('0'+i%10)) + `', 1)`)
+	}
+	mustExec(t, s, sb.String())
+	r := mustExec(t, s, `SELECT * FROM scripts LIMIT 7`)
+	if len(r.Rows) != 7 {
+		t.Fatalf("limit rows = %d", len(r.Rows))
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `INSERT INTO scripts (script_name, version) VALUES ('a', 1), ('b', 2), ('c', 2)`)
+	r := mustExec(t, s, `SELECT COUNT(*) FROM scripts`)
+	if len(r.Rows) != 1 || r.Rows[0][0] != int64(3) {
+		t.Fatalf("count = %+v", r.Rows)
+	}
+	r = mustExec(t, s, `SELECT COUNT(*) FROM scripts WHERE version = 2`)
+	if r.Rows[0][0] != int64(2) {
+		t.Fatalf("filtered count = %+v", r.Rows)
+	}
+	if r.Columns[0] != "count" {
+		t.Errorf("columns = %v", r.Columns)
+	}
+	// COUNT on an empty result.
+	r = mustExec(t, s, `SELECT COUNT(*) FROM scripts WHERE version = 99`)
+	if r.Rows[0][0] != int64(0) {
+		t.Fatalf("empty count = %+v", r.Rows)
+	}
+	// Malformed COUNT forms fail to parse.
+	for _, bad := range []string{
+		`SELECT COUNT(* FROM scripts`,
+		`SELECT COUNT * ) FROM scripts`,
+		`SELECT COUNT() FROM scripts`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestIsNullOperators(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `INSERT INTO scripts (script_name, author) VALUES ('a', NULL), ('b', 'Ma'), ('c', NULL)`)
+	r := mustExec(t, s, `SELECT script_name FROM scripts WHERE author IS NULL`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("IS NULL rows = %+v", r.Rows)
+	}
+	r = mustExec(t, s, `SELECT script_name FROM scripts WHERE author IS NOT NULL`)
+	if len(r.Rows) != 1 || r.Rows[0][0] != "b" {
+		t.Fatalf("IS NOT NULL rows = %+v", r.Rows)
+	}
+	// Combined with another conjunct.
+	r = mustExec(t, s, `SELECT script_name FROM scripts WHERE author IS NULL AND script_name PREFIX 'c'`)
+	if len(r.Rows) != 1 || r.Rows[0][0] != "c" {
+		t.Fatalf("combined rows = %+v", r.Rows)
+	}
+	// IS NULL last in a conjunction.
+	r = mustExec(t, s, `SELECT script_name FROM scripts WHERE script_name PREFIX 'a' AND author IS NULL`)
+	if len(r.Rows) != 1 {
+		t.Fatalf("trailing IS NULL rows = %+v", r.Rows)
+	}
+	for _, bad := range []string{
+		`SELECT * FROM scripts WHERE author IS`,
+		`SELECT * FROM scripts WHERE author IS NOT`,
+		`SELECT * FROM scripts WHERE author IS MISSING`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCreateOrderedIndexStatement(t *testing.T) {
+	s := newSession(t)
+	r := mustExec(t, s, `CREATE ORDERED INDEX ON scripts (version)`)
+	if !strings.Contains(r.Msg, "ordered index") {
+		t.Fatalf("msg = %q", r.Msg)
+	}
+	mustExec(t, s, `INSERT INTO scripts (script_name, version) VALUES
+		('a', 1), ('b', 5), ('c', 9), ('d', 3)`)
+	r = mustExec(t, s, `SELECT script_name FROM scripts WHERE version >= 4 ORDER BY script_name`)
+	if len(r.Rows) != 2 || r.Rows[0][0] != "b" || r.Rows[1][0] != "c" {
+		t.Fatalf("rows = %+v", r.Rows)
+	}
+	if _, err := Parse(`CREATE ORDERED TABLE t (a INT, PRIMARY KEY (a))`); err == nil {
+		t.Error("CREATE ORDERED TABLE should fail")
+	}
+}

@@ -1,0 +1,420 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// table is the in-memory storage of one relation.
+type table struct {
+	schema  Schema
+	rows    map[string]Row    // encoded pk -> canonical row
+	indexes map[string]*index // indexed column -> hash index
+
+	// ordered holds the ordered (range) indexes, keyed by column; nil
+	// until CreateOrderedIndex is used.
+	ordered map[string]*orderedIndex
+
+	// Sorted-key cache for deterministic scans, rebuilt lazily: writers
+	// (who hold the database write lock) mark it dirty; readers rebuild
+	// it on demand under cacheMu so concurrent scans stay safe.
+	cacheMu   sync.Mutex
+	sortedPKs []string
+	dirty     bool
+}
+
+// index is a hash index mapping an encoded column value to the set of
+// encoded primary keys holding it.
+type index struct {
+	column  string
+	buckets map[string]map[string]struct{}
+}
+
+func newIndex(column string) *index {
+	return &index{column: column, buckets: make(map[string]map[string]struct{})}
+}
+
+func (ix *index) add(val any, pk string) {
+	k := encodeKey(val)
+	b := ix.buckets[k]
+	if b == nil {
+		b = make(map[string]struct{})
+		ix.buckets[k] = b
+	}
+	b[pk] = struct{}{}
+}
+
+func (ix *index) remove(val any, pk string) {
+	k := encodeKey(val)
+	if b := ix.buckets[k]; b != nil {
+		delete(b, pk)
+		if len(b) == 0 {
+			delete(ix.buckets, k)
+		}
+	}
+}
+
+func (ix *index) lookup(val any) []string {
+	b := ix.buckets[encodeKey(val)]
+	if len(b) == 0 {
+		return nil
+	}
+	pks := make([]string, 0, len(b))
+	for pk := range b {
+		pks = append(pks, pk)
+	}
+	sort.Strings(pks)
+	return pks
+}
+
+// DB is an embedded relational database. All methods are safe for
+// concurrent use; writes serialize on an internal mutex (higher-level
+// concurrency control is the job of the document-layer lock manager, as
+// in the paper).
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+	wal    *WAL // nil when WAL logging is disabled
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*table)}
+}
+
+// CreateTable registers a new relation.
+func (db *DB) CreateTable(s Schema) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[s.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrTableExists, s.Name)
+	}
+	t := &table{
+		schema:  s,
+		rows:    make(map[string]Row),
+		indexes: make(map[string]*index),
+	}
+	// Foreign-key columns are always indexed so referential checks and
+	// reverse lookups stay O(1), the way the SQL server would index them.
+	for _, fk := range s.ForeignKeys {
+		if _, ok := t.indexes[fk.Column]; !ok {
+			t.indexes[fk.Column] = newIndex(fk.Column)
+		}
+	}
+	db.tables[s.Name] = t
+	db.logDDL(s)
+	return nil
+}
+
+// DropTable removes a relation and its rows. It fails if rows of other
+// tables still reference it through a foreign key.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	for _, other := range db.tables {
+		if other == t {
+			continue
+		}
+		for _, fk := range other.schema.ForeignKeys {
+			if fk.RefTable != name {
+				continue
+			}
+			for _, row := range other.rows {
+				if row[fk.Column] != nil {
+					return fmt.Errorf("%w: table %s still referenced by %s.%s",
+						ErrFK, name, other.schema.Name, fk.Column)
+				}
+			}
+		}
+	}
+	delete(db.tables, name)
+	db.logDrop(name)
+	return nil
+}
+
+// CreateIndex adds a hash index over one column of a table. Indexing an
+// already-indexed column is a no-op.
+func (db *DB) CreateIndex(tableName, column string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	if _, ok := t.schema.column(column); !ok {
+		return fmt.Errorf("%w: %s.%s", ErrNoColumn, tableName, column)
+	}
+	if _, ok := t.indexes[column]; ok {
+		return nil
+	}
+	ix := newIndex(column)
+	for pk, row := range t.rows {
+		ix.add(row[column], pk)
+	}
+	t.indexes[column] = ix
+	return nil
+}
+
+// Tables returns the sorted names of all relations.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SchemaOf returns the schema of a table.
+func (db *DB) SchemaOf(name string) (Schema, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return Schema{}, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return t.schema, nil
+}
+
+// Count returns the number of rows in a table.
+func (db *DB) Count(name string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return len(t.rows), nil
+}
+
+// normalizeRow coerces every supplied value, checks NOT NULL columns and
+// rejects unknown columns. The returned row contains only canonical
+// representations.
+func (t *table) normalizeRow(r Row, requireAll bool) (Row, error) {
+	out := make(Row, len(r))
+	for name, v := range r {
+		col, ok := t.schema.column(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, t.schema.Name, name)
+		}
+		cv, err := coerce(col.Type, v)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: %w", t.schema.Name, name, err)
+		}
+		out[name] = cv
+	}
+	if requireAll {
+		for _, col := range t.schema.Columns {
+			if col.NotNull && out[col.Name] == nil {
+				return nil, fmt.Errorf("%w: %s.%s", ErrNull, t.schema.Name, col.Name)
+			}
+		}
+	}
+	return out, nil
+}
+
+// checkFKs verifies every non-NULL foreign-key value in the row exists
+// as a primary key of the referenced table. Caller holds db.mu.
+func (db *DB) checkFKs(t *table, row Row) error {
+	for _, fk := range t.schema.ForeignKeys {
+		v := row[fk.Column]
+		if v == nil {
+			continue
+		}
+		ref, ok := db.tables[fk.RefTable]
+		if !ok {
+			return fmt.Errorf("%w: %s.%s references missing table %s",
+				ErrFK, t.schema.Name, fk.Column, fk.RefTable)
+		}
+		if _, ok := ref.rows[encodeKey(v)]; !ok {
+			return fmt.Errorf("%w: %s.%s=%v has no match in %s",
+				ErrFK, t.schema.Name, fk.Column, v, fk.RefTable)
+		}
+	}
+	return nil
+}
+
+// referencers returns (table, column) pairs of rows referencing the
+// given primary key of the given table. Caller holds db.mu.
+func (db *DB) referencers(name string, pkVal any) []string {
+	var hits []string
+	for _, other := range db.tables {
+		for _, fk := range other.schema.ForeignKeys {
+			if fk.RefTable != name {
+				continue
+			}
+			ix := other.indexes[fk.Column]
+			if ix == nil {
+				continue // FK columns are always indexed at CreateTable
+			}
+			if pks := ix.lookup(pkVal); len(pks) > 0 {
+				hits = append(hits, fmt.Sprintf("%s.%s(%d rows)", other.schema.Name, fk.Column, len(pks)))
+			}
+		}
+	}
+	sort.Strings(hits)
+	return hits
+}
+
+// insertLocked adds the normalized row. Caller holds db.mu.
+func (db *DB) insertLocked(t *table, row Row) (string, error) {
+	if err := db.checkFKs(t, row); err != nil {
+		return "", err
+	}
+	return db.insertRawLocked(t, row)
+}
+
+// insertRawLocked adds the normalized row without foreign-key checks.
+// Only snapshot restore, which verifies integrity afterwards, may use
+// it. Caller holds db.mu.
+func (db *DB) insertRawLocked(t *table, row Row) (string, error) {
+	pkVal := row[t.schema.Key]
+	if pkVal == nil {
+		return "", fmt.Errorf("%w: %s.%s", ErrNull, t.schema.Name, t.schema.Key)
+	}
+	pk := encodeKey(pkVal)
+	if _, exists := t.rows[pk]; exists {
+		return "", fmt.Errorf("%w: %s[%v]", ErrDuplicate, t.schema.Name, pkVal)
+	}
+	t.rows[pk] = row
+	t.dirty = true
+	for _, ix := range t.indexes {
+		ix.add(row[ix.column], pk)
+	}
+	t.orderedAdd(row, pk)
+	return pk, nil
+}
+
+// verifyAllFKs checks every foreign key of every row, returning the
+// first violation found.
+func (db *DB) verifyAllFKs() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, t := range db.tables {
+		if len(t.schema.ForeignKeys) == 0 {
+			continue
+		}
+		for _, row := range t.rows {
+			if err := db.checkFKs(t, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// deleteLocked removes the row with the encoded pk. Caller holds db.mu.
+func (db *DB) deleteLocked(t *table, pk string) (Row, error) {
+	row, ok := t.rows[pk]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, t.schema.Name)
+	}
+	if refs := db.referencers(t.schema.Name, row[t.schema.Key]); len(refs) > 0 {
+		return nil, fmt.Errorf("%w: %s[%v] still referenced by %v",
+			ErrFK, t.schema.Name, row[t.schema.Key], refs)
+	}
+	delete(t.rows, pk)
+	t.dirty = true
+	for _, ix := range t.indexes {
+		ix.remove(row[ix.column], pk)
+	}
+	t.orderedRemove(row, pk)
+	return row, nil
+}
+
+// Insert adds a row, auto-committing. Use Begin for multi-row atomicity.
+func (db *DB) Insert(tableName string, r Row) error {
+	tx, err := db.Begin()
+	if err != nil {
+		return err
+	}
+	if err := tx.Insert(tableName, r); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Get fetches the row with the given primary-key value.
+func (db *DB) Get(tableName string, pkVal any) (Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	col, _ := t.schema.column(t.schema.Key)
+	cv, err := coerce(col.Type, pkVal)
+	if err != nil {
+		return nil, err
+	}
+	row, ok := t.rows[encodeKey(cv)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s[%v]", ErrNotFound, tableName, pkVal)
+	}
+	return row.Clone(), nil
+}
+
+// Exists reports whether a row with the given primary key exists.
+func (db *DB) Exists(tableName string, pkVal any) bool {
+	_, err := db.Get(tableName, pkVal)
+	return err == nil
+}
+
+// Update merges the supplied column changes into the row with the given
+// primary key, auto-committing.
+func (db *DB) Update(tableName string, pkVal any, changes Row) error {
+	tx, err := db.Begin()
+	if err != nil {
+		return err
+	}
+	if err := tx.Update(tableName, pkVal, changes); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Delete removes the row with the given primary key, auto-committing.
+// Deleting a row still referenced through a foreign key fails with ErrFK.
+func (db *DB) Delete(tableName string, pkVal any) error {
+	tx, err := db.Begin()
+	if err != nil {
+		return err
+	}
+	if err := tx.Delete(tableName, pkVal); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// sortedKeysLocked returns the table's primary keys in sorted order,
+// rebuilding the cache when the table changed. Caller holds at least
+// db.mu.RLock (so no writer mutates rows concurrently); cacheMu
+// serializes the rebuild among concurrent readers.
+func (t *table) sortedKeysLocked() []string {
+	t.cacheMu.Lock()
+	defer t.cacheMu.Unlock()
+	if !t.dirty && t.sortedPKs != nil {
+		return t.sortedPKs
+	}
+	pks := make([]string, 0, len(t.rows))
+	for pk := range t.rows {
+		pks = append(pks, pk)
+	}
+	sort.Strings(pks)
+	t.sortedPKs = pks
+	t.dirty = false
+	return pks
+}

@@ -1,0 +1,354 @@
+package relstore
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+func init() {
+	gob.Register(time.Time{})
+}
+
+// snapshot is the gob-serializable image of the whole database.
+type snapshot struct {
+	Schemas []Schema
+	Rows    map[string][]Row // table name -> rows
+	Indexed map[string][]string
+	Ordered map[string][]string
+}
+
+// Snapshot writes a point-in-time image of the database. The snapshot
+// holds the read lock for its duration.
+func (db *DB) Snapshot(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snap := snapshot{
+		Rows:    make(map[string][]Row, len(db.tables)),
+		Indexed: make(map[string][]string, len(db.tables)),
+		Ordered: make(map[string][]string, len(db.tables)),
+	}
+	for _, name := range db.tableNamesLocked() {
+		t := db.tables[name]
+		snap.Schemas = append(snap.Schemas, t.schema)
+		rows := make([]Row, 0, len(t.rows))
+		for _, pk := range t.sortedKeysLocked() {
+			rows = append(rows, t.rows[pk])
+		}
+		snap.Rows[name] = rows
+		for col := range t.indexes {
+			snap.Indexed[name] = append(snap.Indexed[name], col)
+		}
+		for col := range t.ordered {
+			snap.Ordered[name] = append(snap.Ordered[name], col)
+		}
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Restore replaces the database contents with a snapshot previously
+// written by Snapshot.
+func (db *DB) Restore(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("relstore: decoding snapshot: %w", err)
+	}
+	fresh := NewDB()
+	for _, s := range snap.Schemas {
+		if err := fresh.CreateTable(s); err != nil {
+			return err
+		}
+	}
+	// Rows are loaded with foreign-key checks deferred: tables restore in
+	// name order, which need not be dependency order. The sorted-key
+	// caches rebuild lazily on first scan.
+	for _, s := range snap.Schemas {
+		t := fresh.tables[s.Name]
+		for _, row := range snap.Rows[s.Name] {
+			norm, err := t.normalizeRow(row, true)
+			if err != nil {
+				return fmt.Errorf("relstore: snapshot row in %s: %w", s.Name, err)
+			}
+			if _, err := fresh.insertRawLocked(t, norm); err != nil {
+				return fmt.Errorf("relstore: snapshot row in %s: %w", s.Name, err)
+			}
+		}
+		for _, col := range snap.Indexed[s.Name] {
+			if err := fresh.CreateIndex(s.Name, col); err != nil {
+				return err
+			}
+		}
+		for _, col := range snap.Ordered[s.Name] {
+			if err := fresh.CreateOrderedIndex(s.Name, col); err != nil {
+				return err
+			}
+		}
+	}
+	if err := fresh.verifyAllFKs(); err != nil {
+		return fmt.Errorf("relstore: snapshot violates referential integrity: %w", err)
+	}
+	db.mu.Lock()
+	db.tables = fresh.tables
+	db.mu.Unlock()
+	return nil
+}
+
+func (db *DB) tableNamesLocked() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// WAL is a JSON-lines write-ahead log of committed transactions. Each
+// committed transaction appends its redo records followed by a commit
+// marker; Replay applies only fully committed transactions, so a crash
+// mid-append never replays a torn transaction.
+type WAL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	f   *os.File
+	seq uint64
+}
+
+type walLine struct {
+	Seq    uint64   `json:"seq"`
+	Commit bool     `json:"commit,omitempty"`
+	Recs   []walRec `json:"recs,omitempty"`
+}
+
+// OpenWAL attaches a write-ahead log file to the database. Subsequent
+// committed transactions append to it.
+func (db *DB) OpenWAL(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("relstore: opening WAL: %w", err)
+	}
+	db.mu.Lock()
+	db.wal = &WAL{f: f, w: bufio.NewWriter(f)}
+	db.mu.Unlock()
+	return nil
+}
+
+// CloseWAL flushes and detaches the log.
+func (db *DB) CloseWAL() error {
+	db.mu.Lock()
+	wal := db.wal
+	db.wal = nil
+	db.mu.Unlock()
+	if wal == nil {
+		return nil
+	}
+	wal.mu.Lock()
+	defer wal.mu.Unlock()
+	if err := wal.w.Flush(); err != nil {
+		wal.f.Close()
+		return err
+	}
+	return wal.f.Close()
+}
+
+// walEncodeValue wraps values whose Go type JSON would erase ([]byte,
+// time.Time) in tagged one-key objects so replay can restore them.
+func walEncodeValue(v any) any {
+	switch x := v.(type) {
+	case []byte:
+		return map[string]any{"$b": base64.StdEncoding.EncodeToString(x)}
+	case time.Time:
+		return map[string]any{"$t": x.Format(time.RFC3339Nano)}
+	default:
+		return v
+	}
+}
+
+// walDecodeValue reverses walEncodeValue.
+func walDecodeValue(v any) (any, error) {
+	m, ok := v.(map[string]any)
+	if !ok || len(m) != 1 {
+		return v, nil
+	}
+	if s, ok := m["$b"].(string); ok {
+		b, err := base64.StdEncoding.DecodeString(s)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: corrupt WAL bytes value: %w", err)
+		}
+		return b, nil
+	}
+	if s, ok := m["$t"].(string); ok {
+		ts, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: corrupt WAL time value: %w", err)
+		}
+		return ts, nil
+	}
+	return v, nil
+}
+
+func walEncodeRow(r Row) Row {
+	if r == nil {
+		return nil
+	}
+	out := make(Row, len(r))
+	for k, v := range r {
+		out[k] = walEncodeValue(v)
+	}
+	return out
+}
+
+func walDecodeRow(r Row) (Row, error) {
+	if r == nil {
+		return nil, nil
+	}
+	out := make(Row, len(r))
+	for k, v := range r {
+		dv, err := walDecodeValue(v)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = dv
+	}
+	return out, nil
+}
+
+// append writes one committed transaction to the log.
+func (w *WAL) append(recs []walRec) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	encoded := make([]walRec, len(recs))
+	for i, rec := range recs {
+		encoded[i] = rec
+		encoded[i].Row = walEncodeRow(rec.Row)
+		encoded[i].PK = walEncodeValue(rec.PK)
+	}
+	line := walLine{Seq: w.seq, Commit: true, Recs: encoded}
+	b, err := json.Marshal(&line)
+	if err != nil {
+		return fmt.Errorf("relstore: encoding WAL record: %w", err)
+	}
+	if _, err := w.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// ReplayWAL applies a write-ahead log produced by a previous process to
+// the database. Values are re-coerced against the live schema because
+// JSON erases Go types. Unknown tables fail the replay.
+func (db *DB) ReplayWAL(r io.Reader) (applied int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line walLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return applied, fmt.Errorf("relstore: corrupt WAL line: %w", err)
+		}
+		if !line.Commit {
+			continue
+		}
+		if isDDL(line.Recs) {
+			if err := db.applyDDL(line.Recs[0]); err != nil {
+				return applied, err
+			}
+			applied++
+			continue
+		}
+		tx, err := db.Begin()
+		if err != nil {
+			return applied, err
+		}
+		if err := applyRecs(tx, line.Recs); err != nil {
+			tx.Rollback()
+			return applied, err
+		}
+		if err := tx.Commit(); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	return applied, sc.Err()
+}
+
+func isDDL(recs []walRec) bool {
+	return len(recs) == 1 && (recs[0].Op == "create" || recs[0].Op == "drop")
+}
+
+func (db *DB) applyDDL(rec walRec) error {
+	switch rec.Op {
+	case "create":
+		if rec.DDL == nil {
+			return fmt.Errorf("relstore: WAL create record for %s without schema", rec.Table)
+		}
+		return db.CreateTable(*rec.DDL)
+	case "drop":
+		return db.DropTable(rec.Table)
+	default:
+		return fmt.Errorf("relstore: unknown WAL DDL op %q", rec.Op)
+	}
+}
+
+func applyRecs(tx *Tx, recs []walRec) error {
+	for _, rec := range recs {
+		row, err := walDecodeRow(rec.Row)
+		if err != nil {
+			return err
+		}
+		pk, err := walDecodeValue(rec.PK)
+		if err != nil {
+			return err
+		}
+		switch rec.Op {
+		case "insert":
+			if err := tx.Insert(rec.Table, row); err != nil {
+				return err
+			}
+		case "update":
+			if err := tx.Update(rec.Table, pk, row); err != nil {
+				return err
+			}
+		case "delete":
+			if err := tx.Delete(rec.Table, pk); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("relstore: unknown WAL op %q", rec.Op)
+		}
+	}
+	return nil
+}
+
+// logDDL and logDrop record schema changes. DDL statements are logged as
+// standalone committed transactions. Caller holds db.mu.
+func (db *DB) logDDL(s Schema) {
+	if db.wal == nil {
+		return
+	}
+	db.wal.append([]walRec{{Op: "create", Table: s.Name, DDL: &s}})
+}
+
+func (db *DB) logDrop(name string) {
+	if db.wal == nil {
+		return
+	}
+	db.wal.append([]walRec{{Op: "drop", Table: name}})
+}

@@ -1,0 +1,304 @@
+package relstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	db := newCourseDB(t)
+	created := time.Date(1999, 4, 21, 10, 0, 0, 0, time.UTC)
+	if err := db.Insert("scripts", Row{"script_name": "s", "created": created, "version": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("impls", Row{"starting_url": "u", "script_name": "s", "payload": []byte{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("scripts", "author"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := NewDB()
+	if err := db2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db2.Get("scripts", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["created"].(time.Time).Equal(created) || got["version"] != int64(2) {
+		t.Errorf("restored row = %+v", got)
+	}
+	impl, err := db2.Get("impls", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := impl["payload"].([]byte); len(b) != 3 || b[0] != 1 {
+		t.Errorf("restored payload = %v", b)
+	}
+	// FK behaviour must survive the restore.
+	if err := db2.Delete("scripts", "s"); err == nil {
+		t.Error("restored DB lost FK enforcement")
+	}
+	// Secondary indexes must survive the restore.
+	rows, err := db2.Select(Query{Table: "scripts", Conds: []Cond{{Col: "author", Op: OpEq, Val: nil}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rows
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	db := NewDB()
+	if err := db.Restore(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestWALReplayRebuildsDatabase(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "db.wal")
+
+	db := NewDB()
+	if err := db.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	s, i := courseSchemas()
+	if err := db.CreateTable(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(i); err != nil {
+		t.Fatal(err)
+	}
+	created := time.Date(1999, 4, 21, 10, 0, 0, 0, time.UTC)
+	if err := db.Insert("scripts", Row{"script_name": "a", "created": created}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("scripts", Row{"script_name": "b", "version": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("impls", Row{"starting_url": "u", "script_name": "a", "payload": []byte{9, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update("scripts", "b", Row{"version": 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("scripts", "a"); err == nil {
+		t.Fatal("expected FK restrict")
+	}
+	if err := db.Delete("impls", "u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	db2 := NewDB()
+	applied, err := db2.ReplayWAL(f)
+	if err != nil {
+		t.Fatalf("replay failed after %d records: %v", applied, err)
+	}
+	if applied < 6 { // 2 DDL + 3 inserts + 1 update + 1 delete (failed delete unlogged)
+		t.Errorf("applied = %d, want >= 6", applied)
+	}
+	got, err := db2.Get("scripts", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["version"] != int64(5) {
+		t.Errorf("replayed version = %v, want 5", got["version"])
+	}
+	a, err := db2.Get("scripts", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a["created"].(time.Time).Equal(created) {
+		t.Errorf("replayed time = %v, want %v", a["created"], created)
+	}
+	if db2.Exists("impls", "u") {
+		t.Error("deleted row resurrected by replay")
+	}
+}
+
+func TestWALRollbackLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "db.wal")
+	db := NewDB()
+	if err := db.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := courseSchemas()
+	if err := db.CreateTable(s); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Begin()
+	if err := tx.Insert("scripts", Row{"script_name": "ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	db2 := NewDB()
+	if _, err := db2.ReplayWAL(f); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Exists("scripts", "ghost") {
+		t.Error("rolled-back insert reached the WAL")
+	}
+}
+
+func TestWALBytesRoundTripExact(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "db.wal")
+	db := NewDB()
+	if err := db.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	s, i := courseSchemas()
+	if err := db.CreateTable(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(i); err != nil {
+		t.Fatal(err)
+	}
+	// A payload that is itself valid base64 text must not be corrupted.
+	tricky := []byte("aGVsbG8=")
+	if err := db.Insert("impls", Row{"starting_url": "u", "payload": tricky}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	db2 := NewDB()
+	if _, err := db2.ReplayWAL(f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db2.Get("impls", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got["payload"].([]byte)) != "aGVsbG8=" {
+		t.Errorf("payload corrupted: %q", got["payload"])
+	}
+}
+
+func TestReplayCorruptLineFails(t *testing.T) {
+	db := NewDB()
+	if _, err := db.ReplayWAL(bytes.NewReader([]byte("{bad json\n"))); err == nil {
+		t.Fatal("expected corrupt-line error")
+	}
+}
+
+func TestSnapshotOfEmptyDB(t *testing.T) {
+	db := NewDB()
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewDB()
+	if err := db2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(db2.Tables()) != 0 {
+		t.Error("empty snapshot produced tables")
+	}
+}
+
+// Property: for a random op sequence, replaying the WAL into a fresh
+// engine reproduces exactly the same table contents as the live engine.
+func TestQuickWALReplayEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		dir := t.TempDir()
+		walPath := filepath.Join(dir, "q.wal")
+		db := NewDB()
+		if err := db.OpenWAL(walPath); err != nil {
+			return false
+		}
+		s, i := courseSchemas()
+		if err := db.CreateTable(s); err != nil {
+			return false
+		}
+		if err := db.CreateTable(i); err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < 120; op++ {
+			name := fmt.Sprintf("s%d", rng.Intn(20))
+			switch rng.Intn(4) {
+			case 0:
+				db.Insert("scripts", Row{"script_name": name, "version": int64(rng.Intn(5))})
+			case 1:
+				db.Update("scripts", name, Row{"version": int64(rng.Intn(9))})
+			case 2:
+				db.Delete("scripts", name)
+			case 3:
+				url := fmt.Sprintf("u%d", rng.Intn(10))
+				if rng.Intn(2) == 0 {
+					db.Insert("impls", Row{"starting_url": url, "script_name": name})
+				} else {
+					db.Delete("impls", url)
+				}
+			}
+		}
+		if err := db.CloseWAL(); err != nil {
+			return false
+		}
+		f, err := os.Open(walPath)
+		if err != nil {
+			return false
+		}
+		defer f.Close()
+		db2 := NewDB()
+		if _, err := db2.ReplayWAL(f); err != nil {
+			return false
+		}
+		for _, table := range []string{"scripts", "impls"} {
+			a, err1 := db.Select(Query{Table: table})
+			b, err2 := db2.Select(Query{Table: table})
+			if err1 != nil || err2 != nil || len(a) != len(b) {
+				return false
+			}
+			for r := range a {
+				for _, col := range []string{"script_name", "starting_url", "version"} {
+					if compareValues(a[r][col], b[r][col]) != 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CmpOp is a comparison operator usable in a Cond.
+type CmpOp int
+
+// Comparison operators. OpContains and OpPrefix apply to TEXT columns
+// only and support the virtual library's keyword matching.
+const (
+	OpEq CmpOp = iota + 1
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpContains
+	OpPrefix
+	OpIsNull
+	OpNotNull
+)
+
+// String returns the SQL-ish spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpContains:
+		return "CONTAINS"
+	case OpPrefix:
+		return "PREFIX"
+	case OpIsNull:
+		return "IS NULL"
+	case OpNotNull:
+		return "IS NOT NULL"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Cond is one conjunct of a WHERE clause.
+type Cond struct {
+	Col string
+	Op  CmpOp
+	Val any
+}
+
+// Query describes a single-table selection. Conds are ANDed. A zero
+// Limit means no limit.
+type Query struct {
+	Table   string
+	Conds   []Cond
+	OrderBy string
+	Desc    bool
+	Limit   int
+}
+
+// matches evaluates one condition against a coerced row value.
+func (c *Cond) matches(rowVal, condVal any) bool {
+	switch c.Op {
+	case OpEq:
+		return rowVal != nil && compareValues(rowVal, condVal) == 0
+	case OpNe:
+		return rowVal != nil && compareValues(rowVal, condVal) != 0
+	case OpLt:
+		return rowVal != nil && compareValues(rowVal, condVal) < 0
+	case OpLe:
+		return rowVal != nil && compareValues(rowVal, condVal) <= 0
+	case OpGt:
+		return rowVal != nil && compareValues(rowVal, condVal) > 0
+	case OpGe:
+		return rowVal != nil && compareValues(rowVal, condVal) >= 0
+	case OpContains:
+		s, ok1 := rowVal.(string)
+		sub, ok2 := condVal.(string)
+		return ok1 && ok2 && strings.Contains(s, sub)
+	case OpPrefix:
+		s, ok1 := rowVal.(string)
+		pre, ok2 := condVal.(string)
+		return ok1 && ok2 && strings.HasPrefix(s, pre)
+	case OpIsNull:
+		return rowVal == nil
+	case OpNotNull:
+		return rowVal != nil
+	default:
+		return false
+	}
+}
+
+// Select runs a query and returns cloned result rows. Equality
+// conditions on indexed columns are served from the hash index; other
+// queries scan the table in deterministic primary-key order.
+func (db *DB) Select(q Query) ([]Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[q.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, q.Table)
+	}
+	// Validate and coerce condition values against column types.
+	conds := make([]Cond, len(q.Conds))
+	for i, c := range q.Conds {
+		col, ok := t.schema.column(c.Col)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, q.Table, c.Col)
+		}
+		cv := c.Val
+		if c.Op != OpContains && c.Op != OpPrefix && c.Op != OpIsNull && c.Op != OpNotNull {
+			var err error
+			cv, err = coerce(col.Type, c.Val)
+			if err != nil {
+				return nil, fmt.Errorf("condition on %s.%s: %w", q.Table, c.Col, err)
+			}
+		}
+		conds[i] = Cond{Col: c.Col, Op: c.Op, Val: cv}
+	}
+	if q.OrderBy != "" {
+		if _, ok := t.schema.column(q.OrderBy); !ok {
+			return nil, fmt.Errorf("%w: ORDER BY %s.%s", ErrNoColumn, q.Table, q.OrderBy)
+		}
+	}
+
+	// Plan: an indexed equality condition is the best access path; an
+	// ordered index serving an equality or range condition comes next;
+	// otherwise scan in primary-key order.
+	var candidates []string
+	planned := -1
+	for i, c := range conds {
+		if c.Op != OpEq {
+			continue
+		}
+		if ix := t.indexes[c.Col]; ix != nil {
+			candidates = ix.lookup(c.Val)
+			planned = i
+			break
+		}
+		if c.Col == t.schema.Key {
+			pk := encodeKey(c.Val)
+			if _, ok := t.rows[pk]; ok {
+				candidates = []string{pk}
+			}
+			planned = i
+			break
+		}
+	}
+	if planned < 0 {
+		for i, c := range conds {
+			ix := t.ordered[c.Col]
+			if ix == nil {
+				continue
+			}
+			switch c.Op {
+			case OpEq, OpLt, OpLe, OpGt, OpGe:
+				candidates = ix.rangePKs(c.Op, c.Val)
+				planned = i
+			}
+			if planned >= 0 {
+				break
+			}
+		}
+	}
+	if planned < 0 {
+		candidates = t.sortedKeysLocked()
+	}
+
+	var out []Row
+	for _, pk := range candidates {
+		row, ok := t.rows[pk]
+		if !ok {
+			continue
+		}
+		match := true
+		for i, c := range conds {
+			if i == planned {
+				continue // already satisfied by the access path
+			}
+			if !c.matches(row[c.Col], c.Val) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, row.Clone())
+		}
+	}
+
+	if q.OrderBy != "" {
+		col := q.OrderBy
+		sort.SliceStable(out, func(i, j int) bool {
+			c := compareValues(out[i][col], out[j][col])
+			if q.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+// SelectOne returns the single row matching the query, ErrNotFound when
+// none matches, or an error naming the table when several match.
+func (db *DB) SelectOne(q Query) (Row, error) {
+	q.Limit = 2
+	rows, err := db.Select(q)
+	if err != nil {
+		return nil, err
+	}
+	switch len(rows) {
+	case 0:
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, q.Table)
+	case 1:
+		return rows[0], nil
+	default:
+		return nil, fmt.Errorf("relstore: query on %s matched more than one row", q.Table)
+	}
+}
+
+// Lookup is shorthand for an indexed equality select.
+func (db *DB) Lookup(table, column string, val any) ([]Row, error) {
+	return db.Select(Query{Table: table, Conds: []Cond{{Col: column, Op: OpEq, Val: val}}})
+}
+
+// Scan returns every row of the table in deterministic primary-key
+// order, visiting each through fn until fn returns false.
+func (db *DB) Scan(table string, fn func(Row) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, table)
+	}
+	for _, pk := range t.sortedKeysLocked() {
+		if !fn(t.rows[pk].Clone()) {
+			return nil
+		}
+	}
+	return nil
+}

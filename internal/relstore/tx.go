@@ -1,0 +1,190 @@
+package relstore
+
+import "fmt"
+
+// undoOp reverses one mutation when a transaction rolls back.
+type undoOp struct {
+	table string
+	pk    string
+	// before == nil means the op inserted a new row (undo = delete);
+	// inserted == false && before != nil means update (undo = restore);
+	// deleted rows carry before != nil with inserted == false as well,
+	// distinguished by present == false.
+	before  Row
+	present bool // row existed before the mutation
+}
+
+// walRec is one redo record for the write-ahead log.
+type walRec struct {
+	Op    string  `json:"op"` // insert | update | delete | create | drop
+	Table string  `json:"table"`
+	Row   Row     `json:"row,omitempty"`
+	PK    any     `json:"pk,omitempty"`
+	DDL   *Schema `json:"ddl,omitempty"`
+}
+
+// Tx is a write transaction. The engine uses a single-writer model: the
+// transaction holds the database write lock from Begin until Commit or
+// Rollback. Rollback restores the exact pre-transaction state.
+type Tx struct {
+	db   *DB
+	undo []undoOp
+	redo []walRec
+	done bool
+}
+
+// Begin opens a write transaction, blocking other writers.
+func (db *DB) Begin() (*Tx, error) {
+	db.mu.Lock()
+	return &Tx{db: db}, nil
+}
+
+// Commit makes the transaction's effects durable (appending to the WAL
+// when one is attached) and releases the write lock.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	var err error
+	if tx.db.wal != nil && len(tx.redo) > 0 {
+		err = tx.db.wal.append(tx.redo)
+	}
+	tx.db.mu.Unlock()
+	return err
+}
+
+// Rollback undoes every mutation made through the transaction and
+// releases the write lock.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	// Undo in reverse order.
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		op := tx.undo[i]
+		t := tx.db.tables[op.table]
+		if t == nil {
+			continue
+		}
+		cur, exists := t.rows[op.pk]
+		if exists {
+			delete(t.rows, op.pk)
+			for _, ix := range t.indexes {
+				ix.remove(cur[ix.column], op.pk)
+			}
+			t.orderedRemove(cur, op.pk)
+		}
+		if op.present {
+			t.rows[op.pk] = op.before
+			for _, ix := range t.indexes {
+				ix.add(op.before[ix.column], op.pk)
+			}
+			t.orderedAdd(op.before, op.pk)
+		}
+		t.dirty = true
+	}
+	tx.db.mu.Unlock()
+	return nil
+}
+
+// Insert adds a row inside the transaction.
+func (tx *Tx) Insert(tableName string, r Row) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	t, ok := tx.db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	row, err := t.normalizeRow(r, true)
+	if err != nil {
+		return err
+	}
+	pk, err := tx.db.insertLocked(t, row)
+	if err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoOp{table: tableName, pk: pk})
+	tx.redo = append(tx.redo, walRec{Op: "insert", Table: tableName, Row: row})
+	return nil
+}
+
+// Update merges column changes into an existing row inside the
+// transaction. Changing the primary-key column is rejected.
+func (tx *Tx) Update(tableName string, pkVal any, changes Row) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	t, ok := tx.db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	keyCol, _ := t.schema.column(t.schema.Key)
+	cv, err := coerce(keyCol.Type, pkVal)
+	if err != nil {
+		return err
+	}
+	pk := encodeKey(cv)
+	old, ok := t.rows[pk]
+	if !ok {
+		return fmt.Errorf("%w: %s[%v]", ErrNotFound, tableName, pkVal)
+	}
+	norm, err := t.normalizeRow(changes, false)
+	if err != nil {
+		return err
+	}
+	if nv, touched := norm[t.schema.Key]; touched && compareValues(nv, old[t.schema.Key]) != 0 {
+		return fmt.Errorf("%w: %s[%v]", ErrKeyChange, tableName, pkVal)
+	}
+	merged := old.Clone()
+	for k, v := range norm {
+		merged[k] = v
+	}
+	// Re-validate NOT NULL on the merged row and re-check foreign keys.
+	for _, col := range t.schema.Columns {
+		if col.NotNull && merged[col.Name] == nil {
+			return fmt.Errorf("%w: %s.%s", ErrNull, tableName, col.Name)
+		}
+	}
+	if err := tx.db.checkFKs(t, merged); err != nil {
+		return err
+	}
+	for _, ix := range t.indexes {
+		ix.remove(old[ix.column], pk)
+		ix.add(merged[ix.column], pk)
+	}
+	t.orderedRemove(old, pk)
+	t.orderedAdd(merged, pk)
+	t.rows[pk] = merged
+	t.dirty = true
+	tx.undo = append(tx.undo, undoOp{table: tableName, pk: pk, before: old, present: true})
+	tx.redo = append(tx.redo, walRec{Op: "update", Table: tableName, PK: cv, Row: norm})
+	return nil
+}
+
+// Delete removes a row inside the transaction, enforcing referential
+// integrity (restrict semantics).
+func (tx *Tx) Delete(tableName string, pkVal any) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	t, ok := tx.db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	keyCol, _ := t.schema.column(t.schema.Key)
+	cv, err := coerce(keyCol.Type, pkVal)
+	if err != nil {
+		return err
+	}
+	pk := encodeKey(cv)
+	old, err := tx.db.deleteLocked(t, pk)
+	if err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoOp{table: tableName, pk: pk, before: old, present: true})
+	tx.redo = append(tx.redo, walRec{Op: "delete", Table: tableName, PK: cv})
+	return nil
+}

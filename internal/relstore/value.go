@@ -1,0 +1,133 @@
+package relstore
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// encodeKey renders a canonical primary-key or index-key string for a
+// coerced value. Keys are only compared for equality, so the encoding
+// needs to be injective, not order-preserving.
+func encodeKey(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "n:"
+	case int64:
+		return "i:" + strconv.FormatInt(x, 10)
+	case float64:
+		return "f:" + strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return "s:" + x
+	case []byte:
+		return "b:" + base64.StdEncoding.EncodeToString(x)
+	case bool:
+		if x {
+			return "t:1"
+		}
+		return "t:0"
+	case time.Time:
+		return "d:" + strconv.FormatInt(x.UnixNano(), 10)
+	default:
+		return fmt.Sprintf("x:%v", x)
+	}
+}
+
+// compareValues orders two coerced values of the same column type.
+// NULL sorts before every non-NULL value. The result follows the usual
+// -1/0/+1 convention.
+func compareValues(a, b any) int {
+	if a == nil && b == nil {
+		return 0
+	}
+	if a == nil {
+		return -1
+	}
+	if b == nil {
+		return 1
+	}
+	switch x := a.(type) {
+	case int64:
+		y, ok := b.(int64)
+		if !ok {
+			return mixedTypeOrder(a, b)
+		}
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case float64:
+		y, ok := b.(float64)
+		if !ok {
+			return mixedTypeOrder(a, b)
+		}
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case string:
+		y, ok := b.(string)
+		if !ok {
+			return mixedTypeOrder(a, b)
+		}
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case []byte:
+		y, ok := b.([]byte)
+		if !ok {
+			return mixedTypeOrder(a, b)
+		}
+		return bytes.Compare(x, y)
+	case bool:
+		y, ok := b.(bool)
+		if !ok {
+			return mixedTypeOrder(a, b)
+		}
+		switch {
+		case !x && y:
+			return -1
+		case x && !y:
+			return 1
+		}
+		return 0
+	case time.Time:
+		y, ok := b.(time.Time)
+		if !ok {
+			return mixedTypeOrder(a, b)
+		}
+		switch {
+		case x.Before(y):
+			return -1
+		case x.After(y):
+			return 1
+		}
+		return 0
+	}
+	return mixedTypeOrder(a, b)
+}
+
+// mixedTypeOrder gives a stable (if arbitrary) order across values of
+// different dynamic types, so sorting never panics on corrupt input.
+func mixedTypeOrder(a, b any) int {
+	sa, sb := fmt.Sprintf("%T%v", a, a), fmt.Sprintf("%T%v", b, b)
+	switch {
+	case sa < sb:
+		return -1
+	case sa > sb:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,333 @@
+// Package transport is a length-prefixed gob-over-TCP request/response
+// layer: the wire protocol between the paper's three tiers (Web client
+// front ends, the class administrator middle tier, and the database
+// stations). It offers named-method dispatch on the server and
+// concurrent-safe calls with response correlation on the client — the
+// slice of ODBC/HTTP plumbing the 1999 system obtained from its
+// platform.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Protocol limits.
+const (
+	// MaxFrame bounds a single message; bundles with full-size video
+	// fit comfortably.
+	MaxFrame = 256 << 20
+)
+
+// Transport errors.
+var (
+	ErrClosed    = errors.New("transport: connection closed")
+	ErrTooLarge  = errors.New("transport: frame exceeds limit")
+	ErrNoMethod  = errors.New("transport: no such method")
+	ErrBadHeader = errors.New("transport: corrupt frame header")
+)
+
+// envelope is the wire message.
+type envelope struct {
+	ID     uint64
+	Method string
+	IsResp bool
+	Err    string
+	Body   []byte
+}
+
+// writeFrame sends one envelope with a 4-byte length prefix.
+func writeFrame(w io.Writer, env *envelope) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return err
+	}
+	if buf.Len() > MaxFrame {
+		return ErrTooLarge
+	}
+	var head [4]byte
+	binary.BigEndian.PutUint32(head[:], uint32(buf.Len()))
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readFrame receives one envelope.
+func readFrame(r io.Reader) (*envelope, error) {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(head[:])
+	if n > MaxFrame {
+		return nil, ErrTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	return &env, nil
+}
+
+// Marshal encodes a payload value for an envelope body.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes an envelope body into the caller's value.
+func Unmarshal(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// Handler serves one method: decode the request with the provided
+// function, return the response value (gob-encoded for the caller) or
+// an error.
+type Handler func(decode func(any) error) (any, error)
+
+// Server dispatches requests to named handlers. Each connection gets a
+// reader goroutine; each request runs in its own goroutine, so slow
+// handlers do not stall the connection.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer returns a server with no handlers.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
+}
+
+// Handle registers a method handler; it panics on duplicate names
+// (registration is static wiring).
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.handlers[method]; ok {
+		panic("transport: duplicate handler for " + method)
+	}
+	s.handlers[method] = h
+}
+
+// Listen starts accepting on the address (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	var writeMu sync.Mutex
+	for {
+		env, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		s.mu.RLock()
+		h, ok := s.handlers[env.Method]
+		s.mu.RUnlock()
+		go func(env *envelope) {
+			resp := &envelope{ID: env.ID, Method: env.Method, IsResp: true}
+			if !ok {
+				resp.Err = ErrNoMethod.Error() + ": " + env.Method
+			} else {
+				out, err := h(func(v any) error { return Unmarshal(env.Body, v) })
+				if err != nil {
+					resp.Err = err.Error()
+				} else if out != nil {
+					body, err := Marshal(out)
+					if err != nil {
+						resp.Err = err.Error()
+					} else {
+						resp.Body = body
+					}
+				}
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			writeFrame(conn, resp) // a write failure also ends the reader
+		}(env)
+	}
+}
+
+// Close stops accepting and closes every live connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is one connection to a server; Call is safe for concurrent
+// use.
+type Client struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *envelope
+	closed  bool
+	readErr error
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, pending: make(map[uint64]chan *envelope)}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		env, err := readFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.closed = true
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[env.ID]
+		if ok {
+			delete(c.pending, env.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- env
+		}
+	}
+}
+
+// Call invokes a method: req is gob-encoded, the response decoded into
+// resp (which may be nil for fire-and-forget semantics with an
+// acknowledgment).
+func (c *Client) Call(method string, req, resp any) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *envelope, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	body, err := Marshal(req)
+	if err != nil {
+		return err
+	}
+	env := &envelope{ID: id, Method: method, Body: body}
+	c.writeMu.Lock()
+	err = writeFrame(c.conn, env)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
+	got, ok := <-ch
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrClosed, c.err())
+	}
+	if got.Err != "" {
+		return errors.New(got.Err)
+	}
+	if resp != nil {
+		return Unmarshal(got.Body, resp)
+	}
+	return nil
+}
+
+func (c *Client) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readErr
+}
+
+// Close terminates the connection; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -1,0 +1,202 @@
+// Package webui is the Web-savvy interface of the paper's virtual
+// library (section 5): "the searching and retrieve processes are
+// running under a standard Web browser." It serves plain HTML over
+// net/http: the catalog, a search form over keywords / instructor /
+// course number, document pages with their files and media, and
+// check-out / check-in actions whose ledger feeds assessment.
+package webui
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+
+	"repro/internal/docdb"
+	"repro/internal/library"
+)
+
+// Server renders the virtual library over HTTP.
+type Server struct {
+	Library *library.Library
+	Store   *docdb.Store
+	mux     *http.ServeMux
+}
+
+// New wires the handler tree.
+func New(lib *library.Library, store *docdb.Store) *Server {
+	s := &Server{Library: lib, Store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleHome)
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/doc/", s.handleDoc)
+	s.mux.HandleFunc("/checkout", s.handleCheckout)
+	s.mux.HandleFunc("/checkin", s.handleCheckin)
+	s.mux.HandleFunc("/assess", s.handleAssess)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) page(w http.ResponseWriter, title string, body func(*strings.Builder)) {
+	var sb strings.Builder
+	sb.WriteString("<html><head><title>")
+	sb.WriteString(html.EscapeString(title))
+	sb.WriteString("</title></head><body>\n<h1>")
+	sb.WriteString(html.EscapeString(title))
+	sb.WriteString("</h1>\n")
+	body(&sb)
+	sb.WriteString(`<hr><p><a href="/">catalog</a> — MMU Web document virtual library</p></body></html>`)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, sb.String())
+}
+
+func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.page(w, "Virtual course library", func(sb *strings.Builder) {
+		sb.WriteString(`<form action="/search" method="GET">
+keywords <input name="kw">
+instructor <input name="instructor">
+course <input name="course">
+<input type="submit" value="Search">
+</form>
+<h2>Catalog</h2><ul>`)
+		for _, e := range s.Library.Catalog() {
+			fmt.Fprintf(sb, `<li><a href="/doc/%s">%s</a> — %s (%s, %s)</li>`,
+				html.EscapeString(e.ScriptName), html.EscapeString(e.ScriptName),
+				html.EscapeString(e.Title), html.EscapeString(e.CourseNumber),
+				html.EscapeString(e.Instructor))
+		}
+		sb.WriteString("</ul>")
+	})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := library.Query{
+		Instructor: r.URL.Query().Get("instructor"),
+		Course:     r.URL.Query().Get("course"),
+	}
+	if kw := strings.TrimSpace(r.URL.Query().Get("kw")); kw != "" {
+		q.Keywords = strings.Fields(kw)
+	}
+	hits := s.Library.Search(q)
+	s.page(w, "Search results", func(sb *strings.Builder) {
+		fmt.Fprintf(sb, "<p>%d hit(s)</p><ol>", len(hits))
+		for _, h := range hits {
+			fmt.Fprintf(sb, `<li><a href="/doc/%s">%s</a> — %s (score %d)</li>`,
+				html.EscapeString(h.Entry.ScriptName), html.EscapeString(h.Entry.ScriptName),
+				html.EscapeString(h.Entry.Title), h.Score)
+		}
+		sb.WriteString("</ol>")
+	})
+}
+
+func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/doc/")
+	sc, err := s.Store.Script(name)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	impls, err := s.Store.Implementations(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.page(w, "Course "+name, func(sb *strings.Builder) {
+		fmt.Fprintf(sb, "<p>%s — by %s; keywords: %s</p>",
+			html.EscapeString(sc.Description), html.EscapeString(sc.Author),
+			html.EscapeString(strings.Join(sc.Keywords, ", ")))
+		fmt.Fprintf(sb, `<form action="/checkout" method="POST">
+<input type="hidden" name="doc" value="%s">
+student <input name="student">
+<input type="submit" value="Check out">
+</form>`, html.EscapeString(name))
+		for _, im := range impls {
+			fmt.Fprintf(sb, "<h2>Implementation %s</h2>", html.EscapeString(im.StartingURL))
+			files, err := s.Store.HTMLFiles(im.StartingURL)
+			if err == nil {
+				sb.WriteString("<ul>")
+				for _, f := range files {
+					fmt.Fprintf(sb, "<li>%s (%d bytes)</li>", html.EscapeString(f.Path), len(f.Content))
+				}
+				sb.WriteString("</ul>")
+			}
+			media, err := s.Store.ImplMedia(im.StartingURL)
+			if err == nil && len(media) > 0 {
+				sb.WriteString("<p>media: ")
+				for i, m := range media {
+					if i > 0 {
+						sb.WriteString(", ")
+					}
+					fmt.Fprintf(sb, "%s (%s, %d bytes)", html.EscapeString(m.Name), m.Kind, m.Ref.Size)
+				}
+				sb.WriteString("</p>")
+			}
+		}
+	})
+}
+
+func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	doc := r.FormValue("doc")
+	student := r.FormValue("student")
+	if doc == "" || student == "" {
+		http.Error(w, "doc and student required", http.StatusBadRequest)
+		return
+	}
+	id, err := s.Library.CheckOut(doc, student)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.page(w, "Checked out", func(sb *strings.Builder) {
+		fmt.Fprintf(sb, `<p>%s checked out %s. Ticket: <code>%s</code></p>
+<form action="/checkin" method="POST">
+<input type="hidden" name="ticket" value="%s">
+<input type="submit" value="Check in">
+</form>`, html.EscapeString(student), html.EscapeString(doc), html.EscapeString(id), html.EscapeString(id))
+	})
+}
+
+func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	ticket := r.FormValue("ticket")
+	if err := s.Library.CheckIn(ticket); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.page(w, "Checked in", func(sb *strings.Builder) {
+		fmt.Fprintf(sb, "<p>Ticket <code>%s</code> returned.</p>", html.EscapeString(ticket))
+	})
+}
+
+func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
+	student := r.URL.Query().Get("student")
+	if student == "" {
+		http.Error(w, "student required", http.StatusBadRequest)
+		return
+	}
+	a, err := s.Library.Assess(student)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.page(w, "Assessment for "+student, func(sb *strings.Builder) {
+		fmt.Fprintf(sb, `<table border="1">
+<tr><th>checkouts</th><th>distinct documents</th><th>still out</th><th>reading time</th><th>score</th></tr>
+<tr><td>%d</td><td>%d</td><td>%d</td><td>%v</td><td>%.1f</td></tr>
+</table>`, a.Checkouts, a.DistinctDocs, a.Open, a.TotalDuration, a.Score)
+	})
+}

@@ -1,0 +1,219 @@
+package webui
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/docdb"
+	"repro/internal/library"
+	"repro/internal/relstore"
+)
+
+// newServer builds the UI over a two-course library.
+func newServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	store, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(1999, 4, 21, 8, 0, 0, 0, time.UTC)
+	tick := 0
+	store.Now = func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Minute)
+	}
+	if err := store.CreateDatabase(docdb.Database{Name: "mmu"}); err != nil {
+		t.Fatal(err)
+	}
+	courses := []docdb.Script{
+		{Name: "cs101", DBName: "mmu", Author: "Shih", Keywords: []string{"computer", "engineering"},
+			Description: "Introduction to Computer Engineering"},
+		{Name: "mm201", DBName: "mmu", Author: "Ma", Keywords: []string{"multimedia"},
+			Description: "Introduction to Multimedia Computing"},
+	}
+	lib := library.New(store)
+	lib.RegisterInstructor("Shih")
+	for i, c := range courses {
+		if err := store.CreateScript(c); err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.Add(c.Name, []string{"CS-101", "MM-201"}[i], "Shih"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.AddImplementation(docdb.Implementation{StartingURL: "http://mmu/cs101/v1", ScriptName: "cs101"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.PutHTML("http://mmu/cs101/v1", "index.html", []byte("<html><title>x</title></html>")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.AttachImplMedia("http://mmu/cs101/v1", "clip.mpg", blob.KindVideo, []byte("video")); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(lib, store)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func postForm(t *testing.T, target string, vals url.Values) (int, string) {
+	t.Helper()
+	resp, err := http.PostForm(target, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHomeListsCatalog(t *testing.T) {
+	_, ts := newServer(t)
+	code, body := get(t, ts.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(body, "cs101") || !strings.Contains(body, "mm201") {
+		t.Errorf("catalog missing courses:\n%s", body)
+	}
+	if !strings.Contains(body, `action="/search"`) {
+		t.Error("search form missing")
+	}
+}
+
+func TestSearchByKeywordAndInstructor(t *testing.T) {
+	_, ts := newServer(t)
+	code, body := get(t, ts.URL+"/search?kw=multimedia")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(body, "mm201") || strings.Contains(body, "cs101") {
+		t.Errorf("keyword search body:\n%s", body)
+	}
+	_, body = get(t, ts.URL+"/search?instructor=Shih")
+	if !strings.Contains(body, "cs101") {
+		t.Errorf("instructor search body:\n%s", body)
+	}
+	_, body = get(t, ts.URL+"/search?course=MM-201")
+	if !strings.Contains(body, "mm201") {
+		t.Errorf("course search body:\n%s", body)
+	}
+	_, body = get(t, ts.URL+"/search?kw=nonexistentterm")
+	if !strings.Contains(body, "0 hit(s)") {
+		t.Errorf("empty search body:\n%s", body)
+	}
+}
+
+func TestDocPageShowsFilesAndMedia(t *testing.T) {
+	_, ts := newServer(t)
+	code, body := get(t, ts.URL+"/doc/cs101")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	for _, want := range []string{"index.html", "clip.mpg", "video", "Check out"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("doc page missing %q", want)
+		}
+	}
+	code, _ = get(t, ts.URL+"/doc/ghost")
+	if code != http.StatusNotFound {
+		t.Errorf("ghost doc code = %d", code)
+	}
+}
+
+func TestCheckoutCheckinAssessFlow(t *testing.T) {
+	_, ts := newServer(t)
+	code, body := postForm(t, ts.URL+"/checkout", url.Values{"doc": {"cs101"}, "student": {"alice"}})
+	if code != http.StatusOK {
+		t.Fatalf("checkout code = %d: %s", code, body)
+	}
+	ticketRe := regexp.MustCompile(`<code>(lco-\d+)</code>`)
+	m := ticketRe.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("no ticket in body:\n%s", body)
+	}
+	code, body = postForm(t, ts.URL+"/checkin", url.Values{"ticket": {m[1]}})
+	if code != http.StatusOK {
+		t.Fatalf("checkin code = %d: %s", code, body)
+	}
+	// Double check-in fails.
+	code, _ = postForm(t, ts.URL+"/checkin", url.Values{"ticket": {m[1]}})
+	if code != http.StatusBadRequest {
+		t.Errorf("double checkin code = %d", code)
+	}
+	code, body = get(t, ts.URL+"/assess?student=alice")
+	if code != http.StatusOK {
+		t.Fatalf("assess code = %d", code)
+	}
+	if !strings.Contains(body, "<td>1</td><td>1</td><td>0</td>") {
+		t.Errorf("assessment table:\n%s", body)
+	}
+}
+
+func TestCheckoutValidation(t *testing.T) {
+	_, ts := newServer(t)
+	code, _ := postForm(t, ts.URL+"/checkout", url.Values{"doc": {"ghost"}, "student": {"bob"}})
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown doc code = %d", code)
+	}
+	code, _ = postForm(t, ts.URL+"/checkout", url.Values{"doc": {"cs101"}})
+	if code != http.StatusBadRequest {
+		t.Errorf("missing student code = %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/checkout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET checkout code = %d", resp.StatusCode)
+	}
+}
+
+func TestAssessRequiresStudent(t *testing.T) {
+	_, ts := newServer(t)
+	code, _ := get(t, ts.URL+"/assess")
+	if code != http.StatusBadRequest {
+		t.Errorf("code = %d", code)
+	}
+}
+
+func TestEscapingAgainstInjection(t *testing.T) {
+	_, ts := newServer(t)
+	_, body := get(t, ts.URL+"/search?kw="+url.QueryEscape("<script>alert(1)</script>"))
+	if strings.Contains(body, "<script>alert") {
+		t.Error("unescaped query echoed into HTML")
+	}
+}
+
+func TestUnknownPathIs404(t *testing.T) {
+	_, ts := newServer(t)
+	code, _ := get(t, ts.URL+"/nope")
+	if code != http.StatusNotFound {
+		t.Errorf("code = %d", code)
+	}
+}

@@ -1,0 +1,350 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/docdb"
+	"repro/internal/library"
+	"repro/internal/minisql"
+	"repro/internal/relstore"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// smallSpec is the shared course shape for integration tests.
+func systemSpec(n int) workload.CourseSpec {
+	spec := workload.DefaultSpec(n)
+	spec.Pages = 8
+	spec.ExtraLinks = 4
+	spec.ImagesPerPage = 1
+	spec.VideoEvery = 4
+	spec.AudioEvery = 0
+	spec.MediaScaleDown = 16384
+	return spec
+}
+
+// TestFullSemesterScenario drives the whole system through a realistic
+// sequence: publish three courses, distribute them, run lectures with
+// playback, collaborate on edits, circulate library materials for a
+// cohort of students, test the courses, and verify buffers reclaim.
+func TestFullSemesterScenario(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Stations = 13
+	u, err := core.NewUniversity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := make([]workload.CourseSpec, 3)
+	for i := range specs {
+		specs[i] = systemSpec(i + 1)
+		if _, err := u.PublishCourse(specs[i], []string{"CS-101", "MM-201", "ED-110"}[i], "Shih"); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+
+	// All three courses are searchable.
+	if hits := u.Search(library.Query{}); len(hits) != 3 {
+		t.Fatalf("catalog = %d", len(hits))
+	}
+
+	for li, spec := range specs {
+		if _, _, err := u.Distribute(spec.URL); err != nil {
+			t.Fatalf("distribute %d: %v", li, err)
+		}
+		// Every student station plays without stalls.
+		for pos := 2; pos <= u.Cluster.Size(); pos += 4 {
+			rep, err := u.Cluster.Playback(pos, spec.URL, time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Stalls != 0 {
+				t.Errorf("lecture %d station %d stalled %d times", li, pos, rep.Stalls)
+			}
+		}
+		// Mid-semester edit with alerts.
+		alerts, err := u.EditScript(context.Background(), "Ma", spec.ScriptName, func(s *docdb.Store) error {
+			return s.SetProgress(spec.ScriptName, float64(60+li*10))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alerts == 0 {
+			t.Error("edit raised no alerts")
+		}
+		// Students check out the notes.
+		for _, student := range []string{"alice", "bob"} {
+			co, err := u.StudentCheckOut(spec.ScriptName, student)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := u.StudentCheckIn(co); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Lecture ends; student buffers return to references.
+		freed, err := u.EndLecture(spec.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if freed <= 0 {
+			t.Errorf("lecture %d freed %d bytes", li, freed)
+		}
+		// The testing subsystem finds generated courses clean.
+		if _, bug, err := u.TestCourse(spec.URL, "Huang", li+1); err != nil {
+			t.Fatal(err)
+		} else if bug != "" {
+			t.Errorf("course %d has bug %s", li, bug)
+		}
+	}
+
+	// After three lectures, only the instructor station holds bytes.
+	usage := u.Cluster.DiskUsage()
+	for pos := 2; pos <= u.Cluster.Size(); pos++ {
+		if usage[pos-1] != 0 {
+			t.Errorf("station %d holds %d bytes after semester end", pos, usage[pos-1])
+		}
+	}
+	if usage[0] == 0 {
+		t.Error("instructor station lost its courses")
+	}
+
+	// Assessment reflects six checkouts each semester for both students.
+	for _, student := range []string{"alice", "bob"} {
+		a, err := u.Assess(student)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Checkouts != 3 || a.DistinctDocs != 3 {
+			t.Errorf("%s assessment = %+v", student, a)
+		}
+	}
+}
+
+// TestStationPersistenceAcrossRestart snapshots a station (relational +
+// BLOB layers), rebuilds it from disk and verifies the document layer
+// is intact, including a bundle export.
+func TestStationPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	relPath := filepath.Join(dir, "rel.snap")
+	blobPath := filepath.Join(dir, "blob.snap")
+
+	store, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Now = func() time.Time { return time.Date(1999, 4, 21, 0, 0, 0, 0, time.UTC) }
+	spec := systemSpec(1)
+	course, err := workload.BuildCourse(store, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.NewInstance(spec.URL, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	wantBundle, err := store.ExportBundle(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist both layers.
+	relFile, err := os.Create(relPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Rel().Snapshot(relFile); err != nil {
+		t.Fatal(err)
+	}
+	relFile.Close()
+	blobFile, err := os.Create(blobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Blobs().Snapshot(blobFile); err != nil {
+		t.Fatal(err)
+	}
+	blobFile.Close()
+
+	// "Restart": rebuild from disk.
+	rel2 := relstore.NewDB()
+	relIn, err := os.Open(relPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel2.Restore(relIn); err != nil {
+		t.Fatal(err)
+	}
+	relIn.Close()
+	blobs2 := blob.NewStore()
+	blobIn, err := os.Open(blobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blobs2.Restore(blobIn); err != nil {
+		t.Fatal(err)
+	}
+	blobIn.Close()
+	store2, err := docdb.Open(rel2, blobs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything is back: scripts, pages, media bytes, object forms.
+	sc, err := store2.Script(spec.ScriptName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.DBName != spec.DBName {
+		t.Errorf("script = %+v", sc)
+	}
+	gotBundle, err := store2.ExportBundle(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBundle.TotalBytes() != wantBundle.TotalBytes() {
+		t.Errorf("bundle bytes = %d, want %d", gotBundle.TotalBytes(), wantBundle.TotalBytes())
+	}
+	if len(gotBundle.Media) != course.MediaCount {
+		t.Errorf("media = %d, want %d", len(gotBundle.Media), course.MediaCount)
+	}
+	obj, err := store2.ObjectByURL(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Form != schema.FormInstance || !obj.Persistent {
+		t.Errorf("object = %+v", obj)
+	}
+}
+
+// TestTCPDistributionScenario moves a course between three real TCP
+// stations: author on 1, pull to 2, then 3 pulls from 2 — the on-demand
+// parent route over real sockets.
+func TestTCPDistributionScenario(t *testing.T) {
+	stores := make([]*docdb.Store, 3)
+	nodes := make([]*cluster.Node, 3)
+	addrs := make([]string, 3)
+	for i := range stores {
+		s, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Now = func() time.Time { return time.Date(1999, 4, 21, 0, 0, 0, 0, time.UTC) }
+		stores[i] = s
+		nodes[i] = cluster.NewNode(i+1, s)
+		addr, err := nodes[i].Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nodes[i].Close()
+		addrs[i] = addr
+	}
+	spec := systemSpec(2)
+	if _, err := workload.BuildCourse(stores[0], spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stores[0].NewInstance(spec.URL, 1, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Station 2 pulls from station 1.
+	c1, err := cluster.DialStation(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	bundle, err := c1.FetchBundle(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cluster.DialStation(addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Import(bundle, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Station 3 pulls from station 2 (its parent under m=2).
+	bundle2, err := c2.FetchBundle(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := cluster.DialStation(addrs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if _, err := c3.Import(bundle2, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-identical content end to end.
+	orig, err := stores[0].HTML(spec.URL, "index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := stores[2].HTML(spec.URL, "index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, final) {
+		t.Error("content corrupted across two TCP hops")
+	}
+	// All three stations report the instance over SQL.
+	for i, addr := range addrs {
+		rs, err := cluster.DialStation(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply, err := rs.SQL("SELECT COUNT(*) FROM doc_objects WHERE form = 'instance'")
+		rs.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Rows[0][0] != "1" {
+			t.Errorf("station %d instances = %s", i+1, reply.Rows[0][0])
+		}
+	}
+}
+
+// TestSQLOverDocumentStore verifies the administrative SQL path sees
+// the document layer's tables directly.
+func TestSQLOverDocumentStore(t *testing.T) {
+	store, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Now = func() time.Time { return time.Date(1999, 4, 21, 0, 0, 0, 0, time.UTC) }
+	spec := systemSpec(3)
+	if _, err := workload.BuildCourse(store, spec); err != nil {
+		t.Fatal(err)
+	}
+	sess := minisql.NewSession(store.Rel())
+	res, err := sess.Exec("SELECT COUNT(*) FROM html_files")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != int64(8) {
+		t.Errorf("html_files = %v", res.Rows[0][0])
+	}
+	res, err = sess.Exec("SELECT script_name FROM scripts WHERE author = 'instructor'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != spec.ScriptName {
+		t.Errorf("scripts = %v", res.Rows)
+	}
+	// The FK chain protects the document layer through SQL too.
+	if _, err := sess.Exec("DELETE FROM scripts WHERE script_name = '" + spec.ScriptName + "'"); err == nil {
+		t.Error("SQL deleted a script that implementations still reference")
+	}
+}
