@@ -1,0 +1,28 @@
+GO ?= go
+
+# The targets below are exactly what .github/workflows/ci.yml runs, so a
+# green `make ci` locally means a green CI run.
+
+.PHONY: build vet fmt-check test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/relstore/... ./internal/docdb/...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+ci: build vet fmt-check test race

@@ -43,20 +43,36 @@ func main() {
 	flag.Parse()
 
 	rel := relstore.NewDB()
-	store, err := docdb.Open(rel, blob.NewStore())
+	blobs := blob.NewStore()
+	store, err := docdb.Open(rel, blobs)
 	if err != nil {
 		log.Fatalf("webdocd: opening store: %v", err)
 	}
+	blobSnapPath := *walPath + ".blobs"
 	if *walPath != "" {
+		// BLOB bytes are not in the WAL; they come back from the
+		// sidecar snapshot written at shutdown.
+		if f, err := os.Open(blobSnapPath); err == nil {
+			if err := blobs.Restore(f); err != nil {
+				log.Fatalf("webdocd: restoring BLOB snapshot: %v", err)
+			}
+			f.Close()
+		}
 		if f, err := os.Open(*walPath); err == nil {
-			// Replay an existing log before attaching it for appends.
-			rel2 := relstore.NewDB()
-			if n, err := rel2.ReplayWAL(f); err != nil {
+			// Replay an existing log into the live engine (its schema is
+			// already installed by docdb.Open) before attaching the log
+			// for appends, so a restarted station serves its old data.
+			if n, err := rel.ReplayWAL(f); err != nil {
 				log.Fatalf("webdocd: replaying WAL: %v", err)
 			} else if n > 0 {
 				log.Printf("webdocd: replayed %d committed transactions", n)
 			}
 			f.Close()
+		}
+		// Restored rows carry generated IDs; move the counter past them
+		// so new IDs cannot collide.
+		if err := store.SyncIDs(); err != nil {
+			log.Fatalf("webdocd: syncing ID counter: %v", err)
 		}
 		if err := rel.OpenWAL(*walPath); err != nil {
 			log.Fatalf("webdocd: opening WAL: %v", err)
@@ -70,18 +86,27 @@ func main() {
 		spec := workload.DefaultSpec(*pos)
 		spec.Pages = *seedCourse
 		spec.MediaScaleDown = 4096
-		course, err := workload.BuildCourse(store, spec)
-		if err != nil {
-			log.Fatalf("webdocd: seeding course: %v", err)
+		if _, err := store.Script(spec.ScriptName); err == nil {
+			// The course came back with the WAL replay; re-seeding
+			// would collide with the restored rows.
+			log.Printf("webdocd: %s already present, skipping seed", spec.ScriptName)
+			if err := lib.Add(spec.ScriptName, fmt.Sprintf("MMU-%03d", *pos), "instructor"); err != nil {
+				log.Fatalf("webdocd: cataloging course: %v", err)
+			}
+		} else {
+			course, err := workload.BuildCourse(store, spec)
+			if err != nil {
+				log.Fatalf("webdocd: seeding course: %v", err)
+			}
+			if _, err := store.NewInstance(spec.URL, *pos, true); err != nil {
+				log.Fatalf("webdocd: recording instance: %v", err)
+			}
+			if err := lib.Add(spec.ScriptName, fmt.Sprintf("MMU-%03d", *pos), "instructor"); err != nil {
+				log.Fatalf("webdocd: cataloging course: %v", err)
+			}
+			log.Printf("webdocd: seeded %s (%d pages, %d media, %d bytes)",
+				spec.ScriptName, course.PageCount, course.MediaCount, course.MediaBytes)
 		}
-		if _, err := store.NewInstance(spec.URL, *pos, true); err != nil {
-			log.Fatalf("webdocd: recording instance: %v", err)
-		}
-		if err := lib.Add(spec.ScriptName, fmt.Sprintf("MMU-%03d", *pos), "instructor"); err != nil {
-			log.Fatalf("webdocd: cataloging course: %v", err)
-		}
-		log.Printf("webdocd: seeded %s (%d pages, %d media, %d bytes)",
-			spec.ScriptName, course.PageCount, course.MediaCount, course.MediaBytes)
 	}
 
 	if *httpAddr != "" {
@@ -106,4 +131,15 @@ func main() {
 	<-sig
 	log.Println("webdocd: shutting down")
 	node.Close()
+	if *walPath != "" {
+		f, err := os.Create(blobSnapPath)
+		if err != nil {
+			log.Printf("webdocd: writing BLOB snapshot: %v", err)
+			return
+		}
+		if err := blobs.Snapshot(f); err != nil {
+			log.Printf("webdocd: writing BLOB snapshot: %v", err)
+		}
+		f.Close()
+	}
 }

@@ -10,6 +10,8 @@ package docdb
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -69,6 +71,41 @@ func (s *Store) nextID(prefix string) string {
 // subsystems (like the virtual library) that keep their own rows in the
 // shared tables.
 func (s *Store) NewID(prefix string) string { return s.nextID(prefix) }
+
+// SyncIDs advances the ID counter past every generated identifier
+// already present in the engine. Call it after restoring state from a
+// WAL or snapshot, where the rows survive but the process-local counter
+// restarts at zero; without it freshly generated IDs collide with
+// restored primary keys.
+func (s *Store) SyncIDs() error {
+	var max uint64
+	for table, pkCol := range map[string]string{
+		schema.TableCheckouts:   "co_id",
+		schema.TableVersions:    "ver_id",
+		schema.TableImplMedia:   "res_id",
+		schema.TableScriptMedia: "res_id",
+		schema.TableDocObjects:  "obj_id",
+	} {
+		err := s.rel.Scan(table, func(r relstore.Row) bool {
+			id := rowString(r, pkCol)
+			if i := strings.LastIndexByte(id, '-'); i >= 0 {
+				if n, err := strconv.ParseUint(id[i+1:], 10, 64); err == nil && n > max {
+					max = n
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for {
+		cur := s.seq.Load()
+		if cur >= max || s.seq.CompareAndSwap(cur, max) {
+			return nil
+		}
+	}
+}
 
 // Database is a Database-layer object.
 type Database struct {
@@ -246,18 +283,43 @@ type File struct {
 
 func fileID(url, path string) string { return url + "#" + path }
 
-// PutHTML stores (or replaces) an HTML file of an implementation.
-func (s *Store) PutHTML(url, path string, content []byte) error {
+// queueHTML appends an insert-or-replace of one HTML file row to the
+// batch; it is the single place the html_files row shape lives.
+func (s *Store) queueHTML(b *relstore.Batch, url, path string, content []byte) {
 	id := fileID(url, path)
 	if s.rel.Exists(schema.TableHTMLFiles, id) {
-		return s.rel.Update(schema.TableHTMLFiles, id, relstore.Row{"content": content})
+		b.Update(schema.TableHTMLFiles, id, relstore.Row{"content": content})
+		return
 	}
-	return s.rel.Insert(schema.TableHTMLFiles, relstore.Row{
+	b.Insert(schema.TableHTMLFiles, relstore.Row{
 		"file_id":      id,
 		"starting_url": url,
 		"path":         path,
 		"content":      content,
 	})
+}
+
+// queueProgram is queueHTML's counterpart for program files.
+func (s *Store) queueProgram(b *relstore.Batch, url, path, language string, content []byte) {
+	id := fileID(url, path)
+	if s.rel.Exists(schema.TableProgFiles, id) {
+		b.Update(schema.TableProgFiles, id, relstore.Row{"content": content, "language": language})
+		return
+	}
+	b.Insert(schema.TableProgFiles, relstore.Row{
+		"file_id":      id,
+		"starting_url": url,
+		"path":         path,
+		"language":     language,
+		"content":      content,
+	})
+}
+
+// PutHTML stores (or replaces) an HTML file of an implementation.
+func (s *Store) PutHTML(url, path string, content []byte) error {
+	var b relstore.Batch
+	s.queueHTML(&b, url, path, content)
+	return s.rel.Apply(&b)
 }
 
 // HTML fetches the content of one HTML file.
@@ -291,17 +353,9 @@ func (s *Store) HTMLFiles(url string) ([]File, error) {
 
 // PutProgram stores (or replaces) an add-on control program file.
 func (s *Store) PutProgram(url, path, language string, content []byte) error {
-	id := fileID(url, path)
-	if s.rel.Exists(schema.TableProgFiles, id) {
-		return s.rel.Update(schema.TableProgFiles, id, relstore.Row{"content": content, "language": language})
-	}
-	return s.rel.Insert(schema.TableProgFiles, relstore.Row{
-		"file_id":      id,
-		"starting_url": url,
-		"path":         path,
-		"language":     language,
-		"content":      content,
-	})
+	var b relstore.Batch
+	s.queueProgram(&b, url, path, language, content)
+	return s.rel.Apply(&b)
 }
 
 // ProgramFiles lists the program files of an implementation.

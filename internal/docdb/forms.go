@@ -186,7 +186,8 @@ func (s *Store) DuplicateComponent(url, newURL, author string) error {
 }
 
 // copyStructure clones the implementation row, its HTML and program
-// files, and shares its media refs under a new starting URL.
+// files, and shares its media refs under a new starting URL. The file
+// copies go through one batched transaction.
 func (s *Store) copyStructure(srcURL, dstURL, scriptName, author string) error {
 	if err := s.AddImplementation(Implementation{StartingURL: dstURL, ScriptName: scriptName, Author: author}); err != nil {
 		return err
@@ -195,12 +196,11 @@ func (s *Store) copyStructure(srcURL, dstURL, scriptName, author string) error {
 	if err != nil {
 		return err
 	}
+	var files relstore.Batch
 	for _, f := range html {
 		content := make([]byte, len(f.Content))
 		copy(content, f.Content)
-		if err := s.PutHTML(dstURL, f.Path, content); err != nil {
-			return err
-		}
+		s.queueHTML(&files, dstURL, f.Path, content)
 	}
 	progs, err := s.ProgramFiles(srcURL)
 	if err != nil {
@@ -209,9 +209,10 @@ func (s *Store) copyStructure(srcURL, dstURL, scriptName, author string) error {
 	for _, f := range progs {
 		content := make([]byte, len(f.Content))
 		copy(content, f.Content)
-		if err := s.PutProgram(dstURL, f.Path, f.Language, content); err != nil {
-			return err
-		}
+		s.queueProgram(&files, dstURL, f.Path, f.Language, content)
+	}
+	if err := s.rel.Apply(&files); err != nil {
+		return err
 	}
 	media, err := s.ImplMedia(srcURL)
 	if err != nil {
@@ -539,15 +540,18 @@ func (s *Store) ImportBundle(b *Bundle, station int, persistent bool) (DocObject
 			return DocObject{}, err
 		}
 	}
+	// The document-layer files land in one batch: one lock acquisition
+	// over the two file tables and one WAL append for the whole bundle,
+	// so a broadcast of N pages costs the same locking as one page.
+	var files relstore.Batch
 	for _, f := range b.HTML {
-		if err := s.PutHTML(b.Impl.StartingURL, f.Path, f.Content); err != nil {
-			return DocObject{}, err
-		}
+		s.queueHTML(&files, b.Impl.StartingURL, f.Path, f.Content)
 	}
 	for _, f := range b.Programs {
-		if err := s.PutProgram(b.Impl.StartingURL, f.Path, f.Language, f.Content); err != nil {
-			return DocObject{}, err
-		}
+		s.queueProgram(&files, b.Impl.StartingURL, f.Path, f.Language, f.Content)
+	}
+	if err := s.rel.Apply(&files); err != nil {
+		return DocObject{}, err
 	}
 	for _, m := range b.Media {
 		if _, err := s.AttachImplMedia(b.Impl.StartingURL, m.Name, m.Kind, m.Data); err != nil {

@@ -202,17 +202,26 @@ type Version struct {
 // CheckOut opens a checkout of a course component for a user. A
 // component may be checked out by only one user at a time (the paper's
 // configuration management of course components); a second attempt
-// fails with ErrCheckedOut. Returns the checkout id used by CheckIn.
+// fails with ErrCheckedOut. The availability check and the ledger
+// insert run in one relstore transaction holding the checkouts table,
+// so two users racing for the same component cannot both win. Returns
+// the checkout id used by CheckIn.
 func (s *Store) CheckOut(kind, objectID, user string) (string, error) {
-	open, err := s.openCheckout(kind, objectID)
+	tx, err := s.rel.Begin(schema.TableCheckouts)
 	if err != nil {
 		return "", err
 	}
+	open, err := openCheckoutTx(tx, kind, objectID)
+	if err != nil {
+		tx.Rollback()
+		return "", err
+	}
 	if open != nil {
+		tx.Rollback()
 		return "", fmt.Errorf("%w: %s %s by %s", ErrCheckedOut, kind, objectID, open.User)
 	}
 	id := s.nextID("co")
-	err = s.rel.Insert(schema.TableCheckouts, relstore.Row{
+	err = tx.Insert(schema.TableCheckouts, relstore.Row{
 		"co_id":       id,
 		"object_kind": kind,
 		"object_id":   objectID,
@@ -220,14 +229,22 @@ func (s *Store) CheckOut(kind, objectID, user string) (string, error) {
 		"out_time":    s.Now(),
 	})
 	if err != nil {
+		tx.Rollback()
+		return "", err
+	}
+	if err := tx.Commit(); err != nil {
 		return "", err
 	}
 	return id, nil
 }
 
-// openCheckout returns the open checkout of an object, nil when none.
-func (s *Store) openCheckout(kind, objectID string) (*Checkout, error) {
-	rows, err := s.rel.Lookup(schema.TableCheckouts, "object_id", objectID)
+// openCheckoutTx returns the open checkout of an object as seen inside
+// the transaction, nil when none.
+func openCheckoutTx(tx *relstore.Tx, kind, objectID string) (*Checkout, error) {
+	rows, err := tx.Select(relstore.Query{
+		Table: schema.TableCheckouts,
+		Conds: []relstore.Cond{{Col: "object_id", Op: relstore.OpEq, Val: objectID}},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -255,30 +272,47 @@ func checkoutFromRow(r relstore.Row) Checkout {
 }
 
 // CheckIn closes a checkout and records a new version of the component
-// in the history, bumping the version counter.
+// in the history, bumping the version counter. The close and the
+// version bump run in one relstore transaction over the checkouts and
+// versions tables, so concurrent check-ins of different components
+// proceed in parallel yet never race a version number.
 func (s *Store) CheckIn(checkoutID, comment string) error {
-	row, err := s.rel.Get(schema.TableCheckouts, checkoutID)
+	tx, err := s.rel.Begin(schema.TableCheckouts, schema.TableVersions)
 	if err != nil {
+		return err
+	}
+	row, err := tx.Get(schema.TableCheckouts, checkoutID)
+	if err != nil {
+		tx.Rollback()
 		return err
 	}
 	if _, closed := row["in_time"].(time.Time); closed {
+		tx.Rollback()
 		return fmt.Errorf("%w: checkout %s already closed", ErrNotCheckedOut, checkoutID)
 	}
 	co := checkoutFromRow(row)
-	if err := s.rel.Update(schema.TableCheckouts, checkoutID, relstore.Row{"in_time": s.Now()}); err != nil {
+	if err := tx.Update(schema.TableCheckouts, checkoutID, relstore.Row{"in_time": s.Now()}); err != nil {
+		tx.Rollback()
 		return err
 	}
-	history, err := s.History(co.ObjectKind, co.ObjectID)
+	history, err := tx.Select(relstore.Query{
+		Table: schema.TableVersions,
+		Conds: []relstore.Cond{
+			{Col: "object_id", Op: relstore.OpEq, Val: co.ObjectID},
+			{Col: "object_kind", Op: relstore.OpEq, Val: co.ObjectKind},
+		},
+	})
 	if err != nil {
+		tx.Rollback()
 		return err
 	}
 	next := int64(1)
 	for _, v := range history {
-		if v.Version >= next {
-			next = v.Version + 1
+		if ver := rowInt(v, "version"); ver >= next {
+			next = ver + 1
 		}
 	}
-	return s.rel.Insert(schema.TableVersions, relstore.Row{
+	err = tx.Insert(schema.TableVersions, relstore.Row{
 		"ver_id":      s.nextID("ver"),
 		"object_kind": co.ObjectKind,
 		"object_id":   co.ObjectID,
@@ -287,6 +321,11 @@ func (s *Store) CheckIn(checkoutID, comment string) error {
 		"comment":     comment,
 		"created":     s.Now(),
 	})
+	if err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
 }
 
 // History lists the recorded versions of a component, oldest first.

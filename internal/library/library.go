@@ -277,19 +277,32 @@ func (l *Library) CheckOut(scriptName, student string) (string, error) {
 	return id, nil
 }
 
-// CheckIn closes a library checkout.
+// CheckIn closes a library checkout. The validity check and the close
+// run in one relstore transaction on the ledger table, so a checkout
+// can be closed exactly once even when students race.
 func (l *Library) CheckIn(checkoutID string) error {
-	row, err := l.store.Rel().Get(schema.TableCheckouts, checkoutID)
+	tx, err := l.store.Rel().Begin(schema.TableCheckouts)
 	if err != nil {
 		return err
 	}
+	row, err := tx.Get(schema.TableCheckouts, checkoutID)
+	if err != nil {
+		tx.Rollback()
+		return err
+	}
 	if kind, _ := row["object_kind"].(string); kind != kindLibrary {
+		tx.Rollback()
 		return fmt.Errorf("%w: %s", ErrNotOut, checkoutID)
 	}
 	if _, closed := row["in_time"].(time.Time); closed {
+		tx.Rollback()
 		return fmt.Errorf("%w: %s", ErrNotOut, checkoutID)
 	}
-	return l.store.Rel().Update(schema.TableCheckouts, checkoutID, relstore.Row{"in_time": l.store.Now()})
+	if err := tx.Update(schema.TableCheckouts, checkoutID, relstore.Row{"in_time": l.store.Now()}); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
 }
 
 // Assessment summarizes one student's library activity as the paper's

@@ -20,6 +20,13 @@
 // conflict with that user's own requests. The manager blocks
 // conflicting requests, detects deadlocks through a wait-for graph, and
 // honours context cancellation.
+//
+// This manager expresses user-visible, document-level policy only.
+// Storage-level isolation is no longer its job: the relational
+// substrate (internal/relstore) runs per-table reader/writer locking
+// with transactional undo, so row access under a granted document lock
+// is already consistent without funnelling every operation through this
+// manager.
 package locking
 
 import (

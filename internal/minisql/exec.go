@@ -84,7 +84,9 @@ func (s *Session) Run(st Statement) (*Result, error) {
 }
 
 func (s *Session) runInsert(st *InsertStmt) (*Result, error) {
-	tx, err := s.db.Begin()
+	// Declaring the statement's table lets unrelated statements run in
+	// parallel on the per-table engine.
+	tx, err := s.db.Begin(st.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +182,7 @@ func (s *Session) runUpdate(st *UpdateStmt) (*Result, error) {
 		return nil, err
 	}
 	changes := relstore.Row(st.Set)
-	tx, err := s.db.Begin()
+	tx, err := s.db.Begin(st.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +203,7 @@ func (s *Session) runDelete(st *DeleteStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tx, err := s.db.Begin()
+	tx, err := s.db.Begin(st.Table)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,88 @@
+package relstore
+
+import "sort"
+
+// Batch collects writes to apply as one transaction: one lock
+// acquisition over the touched tables and one WAL append at commit,
+// amortizing both costs over all operations. A Batch is built without
+// holding any lock, so producers can assemble large batches while the
+// engine serves other traffic, then pay for locking once in Apply.
+//
+// The zero Batch is ready to use. A Batch is not safe for concurrent
+// mutation; build it in one goroutine, then Apply it.
+type Batch struct {
+	ops []batchOp
+}
+
+type batchOp struct {
+	op    string // insert | update | delete
+	table string
+	row   Row
+	pk    any
+}
+
+// Insert queues a row insertion.
+func (b *Batch) Insert(table string, r Row) {
+	b.ops = append(b.ops, batchOp{op: "insert", table: table, row: r})
+}
+
+// Update queues a merge of column changes into the row with the given
+// primary key.
+func (b *Batch) Update(table string, pkVal any, changes Row) {
+	b.ops = append(b.ops, batchOp{op: "update", table: table, row: changes, pk: pkVal})
+}
+
+// Delete queues a row deletion.
+func (b *Batch) Delete(table string, pkVal any) {
+	b.ops = append(b.ops, batchOp{op: "delete", table: table, pk: pkVal})
+}
+
+// Len reports the number of queued operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset empties the batch for reuse, keeping its capacity.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
+
+// Tables returns the sorted distinct tables the batch touches.
+func (b *Batch) Tables() []string {
+	seen := make(map[string]bool, 4)
+	var names []string
+	for _, op := range b.ops {
+		if !seen[op.table] {
+			seen[op.table] = true
+			names = append(names, op.table)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Apply runs the batch as one transaction declared over every touched
+// table: all locks are taken up front in sorted order, the operations
+// run in queue order, and the commit appends a single WAL record. On
+// the first failing operation the whole batch rolls back and nothing is
+// applied. An empty batch is a no-op.
+func (db *DB) Apply(b *Batch) error {
+	if b == nil || len(b.ops) == 0 {
+		return nil
+	}
+	tx, err := db.Begin(b.Tables()...)
+	if err != nil {
+		return err
+	}
+	for _, op := range b.ops {
+		switch op.op {
+		case "insert":
+			err = tx.Insert(op.table, op.row)
+		case "update":
+			err = tx.Update(op.table, op.pk, op.row)
+		case "delete":
+			err = tx.Delete(op.table, op.pk)
+		}
+		if err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	return tx.Commit()
+}

@@ -8,6 +8,12 @@ import (
 
 // table is the in-memory storage of one relation.
 type table struct {
+	// mu guards rows, indexes and ordered. Writers (transactions that
+	// mutate the table) hold it exclusively; queries and foreign-key
+	// checks from transactions on referencing tables hold it shared.
+	// See lock.go for the acquisition order.
+	mu sync.RWMutex
+
 	schema  Schema
 	rows    map[string]Row    // encoded pk -> canonical row
 	indexes map[string]*index // indexed column -> hash index
@@ -17,7 +23,7 @@ type table struct {
 	ordered map[string]*orderedIndex
 
 	// Sorted-key cache for deterministic scans, rebuilt lazily: writers
-	// (who hold the database write lock) mark it dirty; readers rebuild
+	// (who hold the table write lock) mark it dirty; readers rebuild
 	// it on demand under cacheMu so concurrent scans stay safe.
 	cacheMu   sync.Mutex
 	sortedPKs []string
@@ -68,12 +74,18 @@ func (ix *index) lookup(val any) []string {
 	return pks
 }
 
-// DB is an embedded relational database. All methods are safe for
-// concurrent use; writes serialize on an internal mutex (higher-level
-// concurrency control is the job of the document-layer lock manager, as
-// in the paper).
+// DB is an embedded relational database with per-table concurrency
+// control: each table carries its own reader/writer lock, so queries
+// and transactions proceed in parallel as long as they touch disjoint
+// tables, and any number of readers share a table between writes. All
+// methods are safe for concurrent use. Higher-level (document-object)
+// concurrency control remains the job of the document-layer lock
+// manager, as in the paper.
 type DB struct {
-	mu     sync.RWMutex
+	// metaMu freezes the table set, the schemas and the WAL attachment:
+	// held shared by every query and transaction for its duration,
+	// exclusively by DDL. See lock.go for the full locking story.
+	metaMu sync.RWMutex
 	tables map[string]*table
 	wal    *WAL // nil when WAL logging is disabled
 }
@@ -88,8 +100,8 @@ func (db *DB) CreateTable(s Schema) error {
 	if err := s.validate(); err != nil {
 		return err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.metaMu.Lock()
+	defer db.metaMu.Unlock()
 	if _, ok := db.tables[s.Name]; ok {
 		return fmt.Errorf("%w: %s", ErrTableExists, s.Name)
 	}
@@ -113,8 +125,8 @@ func (db *DB) CreateTable(s Schema) error {
 // DropTable removes a relation and its rows. It fails if rows of other
 // tables still reference it through a foreign key.
 func (db *DB) DropTable(name string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.metaMu.Lock()
+	defer db.metaMu.Unlock()
 	t, ok := db.tables[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoTable, name)
@@ -143,8 +155,8 @@ func (db *DB) DropTable(name string) error {
 // CreateIndex adds a hash index over one column of a table. Indexing an
 // already-indexed column is a no-op.
 func (db *DB) CreateIndex(tableName, column string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.metaMu.Lock()
+	defer db.metaMu.Unlock()
 	t, ok := db.tables[tableName]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
@@ -165,8 +177,8 @@ func (db *DB) CreateIndex(tableName, column string) error {
 
 // Tables returns the sorted names of all relations.
 func (db *DB) Tables() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
@@ -177,8 +189,8 @@ func (db *DB) Tables() []string {
 
 // SchemaOf returns the schema of a table.
 func (db *DB) SchemaOf(name string) (Schema, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
 	t, ok := db.tables[name]
 	if !ok {
 		return Schema{}, fmt.Errorf("%w: %s", ErrNoTable, name)
@@ -188,12 +200,14 @@ func (db *DB) SchemaOf(name string) (Schema, error) {
 
 // Count returns the number of rows in a table.
 func (db *DB) Count(name string) (int, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
 	t, ok := db.tables[name]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNoTable, name)
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return len(t.rows), nil
 }
 
@@ -224,7 +238,8 @@ func (t *table) normalizeRow(r Row, requireAll bool) (Row, error) {
 }
 
 // checkFKs verifies every non-NULL foreign-key value in the row exists
-// as a primary key of the referenced table. Caller holds db.mu.
+// as a primary key of the referenced table. Caller holds (at least)
+// read locks on every referenced table, or metaMu exclusively.
 func (db *DB) checkFKs(t *table, row Row) error {
 	for _, fk := range t.schema.ForeignKeys {
 		v := row[fk.Column]
@@ -245,7 +260,9 @@ func (db *DB) checkFKs(t *table, row Row) error {
 }
 
 // referencers returns (table, column) pairs of rows referencing the
-// given primary key of the given table. Caller holds db.mu.
+// given primary key of the given table. Caller holds (at least) read
+// locks on every table referencing the named one, or metaMu
+// exclusively.
 func (db *DB) referencers(name string, pkVal any) []string {
 	var hits []string
 	for _, other := range db.tables {
@@ -266,7 +283,9 @@ func (db *DB) referencers(name string, pkVal any) []string {
 	return hits
 }
 
-// insertLocked adds the normalized row. Caller holds db.mu.
+// insertLocked adds the normalized row. Caller holds the table's write
+// lock plus read locks on its referenced tables (or metaMu
+// exclusively).
 func (db *DB) insertLocked(t *table, row Row) (string, error) {
 	if err := db.checkFKs(t, row); err != nil {
 		return "", err
@@ -275,8 +294,8 @@ func (db *DB) insertLocked(t *table, row Row) (string, error) {
 }
 
 // insertRawLocked adds the normalized row without foreign-key checks.
-// Only snapshot restore, which verifies integrity afterwards, may use
-// it. Caller holds db.mu.
+// Only snapshot restore, which verifies integrity afterwards and runs
+// on a private database, may use it.
 func (db *DB) insertRawLocked(t *table, row Row) (string, error) {
 	pkVal := row[t.schema.Key]
 	if pkVal == nil {
@@ -298,8 +317,17 @@ func (db *DB) insertRawLocked(t *table, row Row) (string, error) {
 // verifyAllFKs checks every foreign key of every row, returning the
 // first violation found.
 func (db *DB) verifyAllFKs() error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
+	names := db.tableNamesLocked()
+	for _, n := range names {
+		db.tables[n].mu.RLock()
+	}
+	defer func() {
+		for i := len(names) - 1; i >= 0; i-- {
+			db.tables[names[i]].mu.RUnlock()
+		}
+	}()
 	for _, t := range db.tables {
 		if len(t.schema.ForeignKeys) == 0 {
 			continue
@@ -313,7 +341,9 @@ func (db *DB) verifyAllFKs() error {
 	return nil
 }
 
-// deleteLocked removes the row with the encoded pk. Caller holds db.mu.
+// deleteLocked removes the row with the encoded pk. Caller holds the
+// table's write lock plus read locks on every table referencing it (or
+// metaMu exclusively).
 func (db *DB) deleteLocked(t *table, pk string) (Row, error) {
 	row, ok := t.rows[pk]
 	if !ok {
@@ -332,9 +362,10 @@ func (db *DB) deleteLocked(t *table, pk string) (Row, error) {
 	return row, nil
 }
 
-// Insert adds a row, auto-committing. Use Begin for multi-row atomicity.
+// Insert adds a row, auto-committing. Use Begin for multi-row atomicity
+// or Apply for batched writes.
 func (db *DB) Insert(tableName string, r Row) error {
-	tx, err := db.Begin()
+	tx, err := db.Begin(tableName)
 	if err != nil {
 		return err
 	}
@@ -347,12 +378,20 @@ func (db *DB) Insert(tableName string, r Row) error {
 
 // Get fetches the row with the given primary-key value.
 func (db *DB) Get(tableName string, pkVal any) (Row, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
 	t, ok := db.tables[tableName]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoTable, tableName)
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.getLocked(pkVal)
+}
+
+// getLocked fetches a row by primary key. Caller holds the table lock
+// in either mode.
+func (t *table) getLocked(pkVal any) (Row, error) {
 	col, _ := t.schema.column(t.schema.Key)
 	cv, err := coerce(col.Type, pkVal)
 	if err != nil {
@@ -360,7 +399,7 @@ func (db *DB) Get(tableName string, pkVal any) (Row, error) {
 	}
 	row, ok := t.rows[encodeKey(cv)]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s[%v]", ErrNotFound, tableName, pkVal)
+		return nil, fmt.Errorf("%w: %s[%v]", ErrNotFound, t.schema.Name, pkVal)
 	}
 	return row.Clone(), nil
 }
@@ -374,7 +413,7 @@ func (db *DB) Exists(tableName string, pkVal any) bool {
 // Update merges the supplied column changes into the row with the given
 // primary key, auto-committing.
 func (db *DB) Update(tableName string, pkVal any, changes Row) error {
-	tx, err := db.Begin()
+	tx, err := db.Begin(tableName)
 	if err != nil {
 		return err
 	}
@@ -388,7 +427,7 @@ func (db *DB) Update(tableName string, pkVal any, changes Row) error {
 // Delete removes the row with the given primary key, auto-committing.
 // Deleting a row still referenced through a foreign key fails with ErrFK.
 func (db *DB) Delete(tableName string, pkVal any) error {
-	tx, err := db.Begin()
+	tx, err := db.Begin(tableName)
 	if err != nil {
 		return err
 	}
@@ -401,8 +440,8 @@ func (db *DB) Delete(tableName string, pkVal any) error {
 
 // sortedKeysLocked returns the table's primary keys in sorted order,
 // rebuilding the cache when the table changed. Caller holds at least
-// db.mu.RLock (so no writer mutates rows concurrently); cacheMu
-// serializes the rebuild among concurrent readers.
+// the table's read lock (so no writer mutates rows concurrently);
+// cacheMu serializes the rebuild among concurrent readers.
 func (t *table) sortedKeysLocked() []string {
 	t.cacheMu.Lock()
 	defer t.cacheMu.Unlock()

@@ -1,0 +1,139 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The engine's locks form a strict hierarchy, always acquired downward:
+//
+//  1. DB.metaMu — the schema lock. Every reader and every transaction
+//     holds it shared for its whole duration; DDL (CreateTable,
+//     DropTable, index creation, Restore, WAL attach/detach) holds it
+//     exclusively. While any operation runs, the table set and every
+//     schema are frozen, so DDL needs no per-table locks at all.
+//  2. table.mu — one reader/writer lock per table, acquired in
+//     ascending table-name order. A transaction takes exclusive locks
+//     on the tables it writes and shared locks on their foreign-key
+//     neighbours; plain queries take a single shared lock.
+//  3. Leaf mutexes (table.cacheMu, WAL.mu), never held while acquiring
+//     anything above them.
+//
+// Blocking waits on table locks only ever happen for names greater than
+// every name the waiter already holds, so a wait-for cycle would need
+// strictly increasing names all the way around — impossible. Lock
+// acquisitions that would violate the order fail fast with ErrLockOrder
+// instead of risking a deadlock; declaring the tables at Begin acquires
+// the whole set up front in sorted order and never hits that error.
+
+// lockMode is the strength of a per-table lock held by a transaction.
+type lockMode int
+
+const (
+	lockRead lockMode = iota + 1
+	lockWrite
+)
+
+// heldLock records one per-table lock a transaction holds.
+type heldLock struct {
+	name string
+	t    *table
+	mode lockMode
+}
+
+// writeNeeds returns the lock set one write to a table requires: the
+// table itself exclusively, plus shared locks on its foreign-key
+// neighbours — tables it references (read during FK checks) and tables
+// referencing it (read during delete restrict checks). Caller holds
+// metaMu.
+func (db *DB) writeNeeds(name string) map[string]lockMode {
+	needs := map[string]lockMode{name: lockWrite}
+	t := db.tables[name]
+	if t == nil {
+		return needs
+	}
+	for _, fk := range t.schema.ForeignKeys {
+		if _, ok := db.tables[fk.RefTable]; ok && needs[fk.RefTable] == 0 {
+			needs[fk.RefTable] = lockRead
+		}
+	}
+	for other, ot := range db.tables {
+		if other == name {
+			continue
+		}
+		for _, fk := range ot.schema.ForeignKeys {
+			if fk.RefTable == name && needs[other] == 0 {
+				needs[other] = lockRead
+			}
+		}
+	}
+	return needs
+}
+
+// acquire takes the needed per-table locks, skipping any the
+// transaction already holds with sufficient strength. Newly needed
+// locks must all sort after every lock already held, keeping blocking
+// waits in ascending name order; needs violating that (or upgrading a
+// shared lock to exclusive) fail with ErrLockOrder.
+func (tx *Tx) acquire(needs map[string]lockMode) error {
+	names := make([]string, 0, len(needs))
+	for name, mode := range needs {
+		if held, ok := tx.modes[name]; ok {
+			if held >= mode {
+				continue
+			}
+			return fmt.Errorf("%w: cannot upgrade the read lock on %s; declare it at Begin", ErrLockOrder, name)
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names)
+	if tx.top != "" && names[0] <= tx.top {
+		return fmt.Errorf("%w: %s sorts before already-locked %s; declare tables at Begin", ErrLockOrder, names[0], tx.top)
+	}
+	for _, name := range names {
+		t, ok := tx.db.tables[name]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoTable, name)
+		}
+		mode := needs[name]
+		if mode == lockWrite {
+			t.mu.Lock()
+		} else {
+			t.mu.RLock()
+		}
+		tx.held = append(tx.held, heldLock{name: name, t: t, mode: mode})
+		tx.modes[name] = mode
+		tx.top = name
+	}
+	return nil
+}
+
+// acquireWrite ensures the transaction holds the write lock on the
+// table and read locks on its foreign-key neighbours. Holding the
+// write lock already implies the neighbour locks (they were taken by
+// the same writeNeeds set), so the common repeated-write case skips the
+// need-set computation entirely.
+func (tx *Tx) acquireWrite(name string) error {
+	if tx.modes[name] == lockWrite {
+		return nil
+	}
+	return tx.acquire(tx.db.writeNeeds(name))
+}
+
+// release drops every held table lock in reverse acquisition order and
+// then the shared schema lock, ending the transaction's footprint.
+func (tx *Tx) release() {
+	for i := len(tx.held) - 1; i >= 0; i-- {
+		h := tx.held[i]
+		if h.mode == lockWrite {
+			h.t.mu.Unlock()
+		} else {
+			h.t.mu.RUnlock()
+		}
+	}
+	tx.held = nil
+	tx.db.metaMu.RUnlock()
+}

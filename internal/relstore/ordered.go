@@ -95,8 +95,8 @@ func (ix *orderedIndex) rangePKs(op CmpOp, val any) []string {
 // existing rows. Range conditions and equality conditions on the column
 // are then served from the index.
 func (db *DB) CreateOrderedIndex(tableName, column string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.metaMu.Lock()
+	defer db.metaMu.Unlock()
 	t, ok := db.tables[tableName]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
@@ -128,7 +128,7 @@ func (db *DB) CreateOrderedIndex(tableName, column string) error {
 }
 
 // orderedAdd/orderedRemove update every ordered index of the table.
-// Caller holds db.mu.
+// Caller holds the table's write lock (or metaMu exclusively).
 func (t *table) orderedAdd(row Row, pk string) {
 	for col, ix := range t.ordered {
 		ix.add(row[col], pk)

@@ -25,10 +25,20 @@ type snapshot struct {
 }
 
 // Snapshot writes a point-in-time image of the database. The snapshot
-// holds the read lock for its duration.
+// holds every table's read lock for its duration, so it is consistent
+// across tables while writes to them proceed afterwards.
 func (db *DB) Snapshot(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
+	names := db.tableNamesLocked()
+	for _, n := range names {
+		db.tables[n].mu.RLock()
+	}
+	defer func() {
+		for i := len(names) - 1; i >= 0; i-- {
+			db.tables[names[i]].mu.RUnlock()
+		}
+	}()
 	snap := snapshot{
 		Rows:    make(map[string][]Row, len(db.tables)),
 		Indexed: make(map[string][]string, len(db.tables)),
@@ -93,9 +103,9 @@ func (db *DB) Restore(r io.Reader) error {
 	if err := fresh.verifyAllFKs(); err != nil {
 		return fmt.Errorf("relstore: snapshot violates referential integrity: %w", err)
 	}
-	db.mu.Lock()
+	db.metaMu.Lock()
 	db.tables = fresh.tables
-	db.mu.Unlock()
+	db.metaMu.Unlock()
 	return nil
 }
 
@@ -140,18 +150,18 @@ func (db *DB) OpenWAL(path string) error {
 	if err != nil {
 		return fmt.Errorf("relstore: opening WAL: %w", err)
 	}
-	db.mu.Lock()
+	db.metaMu.Lock()
 	db.wal = &WAL{f: f, w: bufio.NewWriter(f)}
-	db.mu.Unlock()
+	db.metaMu.Unlock()
 	return nil
 }
 
 // CloseWAL flushes and detaches the log.
 func (db *DB) CloseWAL() error {
-	db.mu.Lock()
+	db.metaMu.Lock()
 	wal := db.wal
 	db.wal = nil
-	db.mu.Unlock()
+	db.metaMu.Unlock()
 	if wal == nil {
 		return nil
 	}
@@ -273,7 +283,10 @@ func (db *DB) ReplayWAL(r io.Reader) (applied int, err error) {
 			applied++
 			continue
 		}
-		tx, err := db.Begin()
+		// Declare every table the committed transaction touches so the
+		// replay transaction locks them in sorted order regardless of
+		// the order the original wrote them in.
+		tx, err := db.Begin(recTables(line.Recs)...)
 		if err != nil {
 			return applied, err
 		}
@@ -291,6 +304,20 @@ func (db *DB) ReplayWAL(r io.Reader) (applied int, err error) {
 
 func isDDL(recs []walRec) bool {
 	return len(recs) == 1 && (recs[0].Op == "create" || recs[0].Op == "drop")
+}
+
+// recTables returns the distinct tables a committed transaction's redo
+// records touch.
+func recTables(recs []walRec) []string {
+	seen := make(map[string]bool, 2)
+	var names []string
+	for _, rec := range recs {
+		if !seen[rec.Table] {
+			seen[rec.Table] = true
+			names = append(names, rec.Table)
+		}
+	}
+	return names
 }
 
 func (db *DB) applyDDL(rec walRec) error {
@@ -338,7 +365,7 @@ func applyRecs(tx *Tx, recs []walRec) error {
 }
 
 // logDDL and logDrop record schema changes. DDL statements are logged as
-// standalone committed transactions. Caller holds db.mu.
+// standalone committed transactions. Caller holds metaMu exclusively.
 func (db *DB) logDDL(s Schema) {
 	if db.wal == nil {
 		return

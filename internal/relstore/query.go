@@ -103,14 +103,23 @@ func (c *Cond) matches(rowVal, condVal any) bool {
 
 // Select runs a query and returns cloned result rows. Equality
 // conditions on indexed columns are served from the hash index; other
-// queries scan the table in deterministic primary-key order.
+// queries scan the table in deterministic primary-key order. Queries
+// run concurrently with each other and with writes to other tables.
 func (db *DB) Select(q Query) ([]Row, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
 	t, ok := db.tables[q.Table]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoTable, q.Table)
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.selectLocked(q)
+}
+
+// selectLocked evaluates the query. Caller holds the table lock in
+// either mode.
+func (t *table) selectLocked(q Query) ([]Row, error) {
 	// Validate and coerce condition values against column types.
 	conds := make([]Cond, len(q.Conds))
 	for i, c := range q.Conds {
@@ -238,14 +247,18 @@ func (db *DB) Lookup(table, column string, val any) ([]Row, error) {
 }
 
 // Scan returns every row of the table in deterministic primary-key
-// order, visiting each through fn until fn returns false.
+// order, visiting each through fn until fn returns false. The table's
+// read lock is held for the whole scan; fn must not call back into the
+// database.
 func (db *DB) Scan(table string, fn func(Row) bool) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
 	t, ok := db.tables[table]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoTable, table)
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, pk := range t.sortedKeysLocked() {
 		if !fn(t.rows[pk].Clone()) {
 			return nil

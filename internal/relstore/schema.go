@@ -116,6 +116,7 @@ var (
 	ErrSchema      = errors.New("relstore: invalid schema")
 	ErrTxDone      = errors.New("relstore: transaction already finished")
 	ErrKeyChange   = errors.New("relstore: primary key of a row cannot be updated")
+	ErrLockOrder   = errors.New("relstore: table locks must be acquired in sorted order")
 )
 
 // validate checks the schema for structural problems.

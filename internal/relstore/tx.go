@@ -23,24 +23,62 @@ type walRec struct {
 	DDL   *Schema `json:"ddl,omitempty"`
 }
 
-// Tx is a write transaction. The engine uses a single-writer model: the
-// transaction holds the database write lock from Begin until Commit or
-// Rollback. Rollback restores the exact pre-transaction state.
+// Tx is a transaction over a set of tables. The engine uses per-table
+// two-phase locking: the transaction holds exclusive locks on the
+// tables it writes and shared locks on their foreign-key neighbours
+// from first touch (or from Begin, when declared) until Commit or
+// Rollback. Transactions over disjoint tables run in parallel, and
+// queries of unrelated tables are never blocked. Rollback restores the
+// exact pre-transaction state.
+//
+// A transaction belongs to one goroutine. While it is open that
+// goroutine must read through the transaction's own Get/Select (which
+// see its uncommitted writes) rather than the DB-level methods, which
+// would wait for the transaction's locks.
 type Tx struct {
-	db   *DB
-	undo []undoOp
-	redo []walRec
-	done bool
+	db    *DB
+	modes map[string]lockMode // table name -> strongest held mode
+	held  []heldLock          // acquisition order, for release
+	top   string              // greatest table name locked so far
+	undo  []undoOp
+	redo  []walRec
+	done  bool
 }
 
-// Begin opens a write transaction, blocking other writers.
-func (db *DB) Begin() (*Tx, error) {
-	db.mu.Lock()
-	return &Tx{db: db}, nil
+// Begin opens a transaction. Declaring the tables the transaction will
+// write acquires every lock up front in sorted order, which is required
+// when the transaction writes tables in an order that is not itself
+// ascending. With no declared tables, locks are acquired lazily at
+// first touch; that succeeds whenever each newly touched table sorts
+// after all tables already locked (single-table transactions always
+// do), and fails with ErrLockOrder otherwise.
+func (db *DB) Begin(tables ...string) (*Tx, error) {
+	db.metaMu.RLock()
+	tx := &Tx{db: db, modes: make(map[string]lockMode)}
+	if len(tables) == 0 {
+		return tx, nil
+	}
+	needs := make(map[string]lockMode)
+	for _, name := range tables {
+		if _, ok := db.tables[name]; !ok {
+			db.metaMu.RUnlock()
+			return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+		}
+		for n, m := range db.writeNeeds(name) {
+			if m > needs[n] {
+				needs[n] = m
+			}
+		}
+	}
+	if err := tx.acquire(needs); err != nil {
+		tx.release()
+		return nil, err
+	}
+	return tx, nil
 }
 
-// Commit makes the transaction's effects durable (appending to the WAL
-// when one is attached) and releases the write lock.
+// Commit makes the transaction's effects durable (appending them to the
+// WAL in one record when a log is attached) and releases every lock.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
@@ -50,18 +88,19 @@ func (tx *Tx) Commit() error {
 	if tx.db.wal != nil && len(tx.redo) > 0 {
 		err = tx.db.wal.append(tx.redo)
 	}
-	tx.db.mu.Unlock()
+	tx.release()
 	return err
 }
 
 // Rollback undoes every mutation made through the transaction and
-// releases the write lock.
+// releases every lock.
 func (tx *Tx) Rollback() error {
 	if tx.done {
 		return ErrTxDone
 	}
 	tx.done = true
-	// Undo in reverse order.
+	// Undo in reverse order. Every table in the undo log is
+	// write-locked by this transaction.
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		op := tx.undo[i]
 		t := tx.db.tables[op.table]
@@ -85,7 +124,7 @@ func (tx *Tx) Rollback() error {
 		}
 		t.dirty = true
 	}
-	tx.db.mu.Unlock()
+	tx.release()
 	return nil
 }
 
@@ -97,6 +136,9 @@ func (tx *Tx) Insert(tableName string, r Row) error {
 	t, ok := tx.db.tables[tableName]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	if err := tx.acquireWrite(tableName); err != nil {
+		return err
 	}
 	row, err := t.normalizeRow(r, true)
 	if err != nil {
@@ -120,6 +162,9 @@ func (tx *Tx) Update(tableName string, pkVal any, changes Row) error {
 	t, ok := tx.db.tables[tableName]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	if err := tx.acquireWrite(tableName); err != nil {
+		return err
 	}
 	keyCol, _ := t.schema.column(t.schema.Key)
 	cv, err := coerce(keyCol.Type, pkVal)
@@ -174,6 +219,9 @@ func (tx *Tx) Delete(tableName string, pkVal any) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
 	}
+	if err := tx.acquireWrite(tableName); err != nil {
+		return err
+	}
 	keyCol, _ := t.schema.column(t.schema.Key)
 	cv, err := coerce(keyCol.Type, pkVal)
 	if err != nil {
@@ -187,4 +235,38 @@ func (tx *Tx) Delete(tableName string, pkVal any) error {
 	tx.undo = append(tx.undo, undoOp{table: tableName, pk: pk, before: old, present: true})
 	tx.redo = append(tx.redo, walRec{Op: "delete", Table: tableName, PK: cv})
 	return nil
+}
+
+// Get fetches a row by primary key from inside the transaction, seeing
+// the transaction's own uncommitted writes. The table is read-locked
+// lazily if the transaction does not already hold it.
+func (tx *Tx) Get(tableName string, pkVal any) (Row, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	t, ok := tx.db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	if err := tx.acquire(map[string]lockMode{tableName: lockRead}); err != nil {
+		return nil, err
+	}
+	return t.getLocked(pkVal)
+}
+
+// Select runs a query inside the transaction, seeing the transaction's
+// own uncommitted writes. The table is read-locked lazily if the
+// transaction does not already hold it.
+func (tx *Tx) Select(q Query) ([]Row, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	t, ok := tx.db.tables[q.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, q.Table)
+	}
+	if err := tx.acquire(map[string]lockMode{q.Table: lockRead}); err != nil {
+		return nil, err
+	}
+	return t.selectLocked(q)
 }
