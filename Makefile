@@ -3,7 +3,7 @@ GO ?= go
 # The targets below are exactly what .github/workflows/ci.yml runs, so a
 # green `make ci` locally means a green CI run.
 
-.PHONY: build vet fmt-check test race bench ci
+.PHONY: build vet fmt-check test race race-fabric bench bench-check ci
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,17 @@ test:
 race:
 	$(GO) test -race ./internal/relstore/... ./internal/docdb/...
 
+# The live distribution layer under the race detector: the in-process
+# multi-station fabric, the station RPC node and the pooled transport.
+race-fabric:
+	$(GO) test -race ./internal/fabric/... ./internal/cluster/... ./internal/transport/...
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-ci: build vet fmt-check test race
+# One iteration of every benchmark in every package, so benchmark code
+# cannot rot without CI noticing.
+bench-check:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: build vet fmt-check test race race-fabric bench-check

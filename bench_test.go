@@ -14,6 +14,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/docdb"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/library"
 	"repro/internal/locking"
 	"repro/internal/minisql"
@@ -393,6 +394,69 @@ func BenchmarkClusterPreBroadcast(b *testing.B) {
 		if _, _, err := c.PreBroadcast(spec.URL); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFabricBroadcast measures the live distribution layer: one
+// full lecture cycle — root broadcasts the bundle down the m-ary tree
+// over real sockets, then the post-lecture migration reclaims every
+// copy — across station counts and tree degrees. The reported
+// bytes/sec is bundle bytes delivered per broadcast (copies × size).
+func BenchmarkFabricBroadcast(b *testing.B) {
+	for _, cfg := range []struct{ stations, m int }{
+		{5, 2}, {9, 2}, {9, 3}, {13, 3},
+	} {
+		b.Run(fmt.Sprintf("stations=%d/m=%d", cfg.stations, cfg.m), func(b *testing.B) {
+			newStore := func() *docdb.Store {
+				store, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+				if err != nil {
+					b.Fatal(err)
+				}
+				return store
+			}
+			root, err := fabric.NewRoot(newStore(), "127.0.0.1:0", cfg.m, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer root.Close()
+			for i := 2; i <= cfg.stations; i++ {
+				st, err := fabric.Join(newStore(), "127.0.0.1:0", root.Addr())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer st.Close()
+			}
+			spec := workload.DefaultSpec(1)
+			spec.Pages = 6
+			spec.MediaScaleDown = 16384
+			if _, err := workload.BuildCourse(root.Store(), spec); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := root.Store().NewInstance(spec.URL, 1, true); err != nil {
+				b.Fatal(err)
+			}
+			bundle, err := root.Store().ExportBundle(spec.URL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(bundle.TotalBytes() * int64(cfg.stations-1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := root.Broadcast(spec.URL, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, sr := range res.Stations {
+					if sr.Err != "" {
+						b.Fatalf("station %d: %s", sr.Pos, sr.Err)
+					}
+				}
+				if _, err := root.EndLecture(spec.URL); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

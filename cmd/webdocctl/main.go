@@ -8,26 +8,45 @@
 //	webdocctl -addr 127.0.0.1:7070 sql "SELECT * FROM scripts"
 //	webdocctl -addr 127.0.0.1:7070 tables
 //	webdocctl -addr 127.0.0.1:7070 pull http://mmu/course-001/v1 127.0.0.1:7071
+//	webdocctl -addr 127.0.0.1:7070 topology
+//	webdocctl -addr 127.0.0.1:7070 broadcast http://mmu/course-001/v1
+//	webdocctl -addr 127.0.0.1:7072 resolve http://mmu/course-001/v1
+//	webdocctl -addr 127.0.0.1:7070 migrate http://mmu/course-001/v1
 //
 // "pull URL TARGET" copies a document bundle from the -addr station to
-// the TARGET station (pre-broadcast of a single document by hand).
+// the TARGET station (pre-broadcast of a single document by hand). The
+// topology/broadcast/resolve/migrate verbs drive a live distribution
+// fabric: broadcast and migrate address the root station, resolve makes
+// the addressed station pull the document up its parent route.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/mtree"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "station address")
+	refsOnly := flag.Bool("refs", false, "broadcast: push document references instead of full instances")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+
+	// The fabric verbs use the typed administrative client; everything
+	// else speaks the base station protocol.
+	switch args[0] {
+	case "topology", "broadcast", "resolve", "migrate":
+		runFabric(*addr, args, *refsOnly)
+		return
 	}
 
 	rs, err := cluster.DialStation(*addr)
@@ -85,6 +104,90 @@ func main() {
 	}
 }
 
+// runFabric executes one distribution-fabric verb against a station.
+func runFabric(addr string, args []string, refsOnly bool) {
+	admin := fabric.DialAdmin(addr)
+	defer admin.Close()
+	switch args[0] {
+	case "topology":
+		top, err := admin.Topology()
+		if err != nil {
+			fail("topology: %v", err)
+		}
+		role := "station"
+		if top.IsRoot {
+			role = "root"
+		}
+		fmt.Printf("%s %d of %d, m=%d, watermark=%d\n", role, top.Pos, top.N, top.M, top.Watermark)
+		positions := make([]int, 0, len(top.Roster))
+		for pos := range top.Roster {
+			positions = append(positions, pos)
+		}
+		sort.Ints(positions)
+		for _, pos := range positions {
+			parent := "-"
+			if p, err := mtree.Parent(pos, top.M); err == nil {
+				parent = fmt.Sprint(p)
+			}
+			fmt.Printf("  station %-3d %-21s parent %s\n", pos, top.Roster[pos], parent)
+		}
+	case "broadcast":
+		if len(args) != 2 {
+			usage()
+		}
+		res, err := admin.Broadcast(args[1], refsOnly)
+		if err != nil {
+			fail("broadcast: %v", err)
+		}
+		what := "instances"
+		if res.RefOnly {
+			what = "references"
+		}
+		fmt.Printf("broadcast %s: %d bytes/copy as %s\n", res.URL, res.Bytes, what)
+		for _, sr := range res.Stations {
+			if sr.Err != "" {
+				fmt.Printf("  station %-3d ERROR %s\n", sr.Pos, sr.Err)
+				continue
+			}
+			fmt.Printf("  station %-3d %s\n", sr.Pos, sr.Form)
+		}
+	case "resolve":
+		if len(args) != 2 {
+			usage()
+		}
+		res, err := admin.Fetch(args[1])
+		if err != nil {
+			fail("resolve: %v", err)
+		}
+		switch {
+		case res.Local:
+			fmt.Printf("resolved %s locally\n", res.URL)
+		case res.Replicated:
+			fmt.Printf("resolved %s via station %d: %d bytes, fetch %d crossed the watermark, instance materialized\n",
+				res.URL, res.ServedBy, res.Bytes, res.Fetches)
+		default:
+			fmt.Printf("resolved %s via station %d: %d bytes, fetch %d below the watermark\n",
+				res.URL, res.ServedBy, res.Bytes, res.Fetches)
+		}
+	case "migrate":
+		if len(args) != 2 {
+			usage()
+		}
+		res, err := admin.EndLecture(args[1])
+		if err != nil {
+			fail("migrate: %v", err)
+		}
+		fmt.Printf("migrated %d station(s), reclaimed %d bytes\n", len(res.Stations), res.Freed)
+		for _, sr := range res.Stations {
+			if sr.Err != "" {
+				fmt.Printf("  station %-3d ERROR %s\n", sr.Pos, sr.Err)
+				continue
+			}
+			fmt.Printf("  station %-3d -> %s (%d bytes freed)\n", sr.Pos, sr.Form, sr.Freed)
+		}
+	}
+}
+
 func printSQL(reply cluster.SQLReply) {
 	if reply.Msg != "" {
 		fmt.Println(reply.Msg)
@@ -123,12 +226,16 @@ func printSQL(reply cluster.SQLReply) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: webdocctl [-addr host:port] COMMAND
+	fmt.Fprintln(os.Stderr, `usage: webdocctl [-addr host:port] [-refs] COMMAND
 commands:
   ping                 station status
   tables               list relational tables
   sql "STATEMENT"      run a minisql statement
-  pull URL TARGET      copy a document bundle to another station`)
+  pull URL TARGET      copy a document bundle to another station
+  topology             show the distribution fabric (any joined station)
+  broadcast URL        push a course down the m-ary tree (root; -refs for references)
+  resolve URL          make the station pull the document up its parent route
+  migrate URL          post-lecture migration back to references (root)`)
 	os.Exit(2)
 }
 

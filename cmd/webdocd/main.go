@@ -4,12 +4,17 @@
 // and the document layer, and serves the station RPC protocol (Ping,
 // Bundle, Import, SQL) over TCP.
 //
-// Usage:
+// Stations can run standalone or join a live distribution fabric (the
+// m-ary tree of the paper's section 4):
 //
-//	webdocd -addr 127.0.0.1:7070 -pos 1
-//	webdocd -addr 127.0.0.1:7071 -pos 2 -seed-course 1
+//	webdocd -addr 127.0.0.1:7070 -root -m 2 -seed-course 40
+//	webdocd -addr 127.0.0.1:7071 -join 127.0.0.1:7070
+//	webdocd -addr 127.0.0.1:7072 -join 127.0.0.1:7070
 //	webdocd -wal station1.wal   # persist committed transactions
 //
+// A -root station is the instructor station (position 1) and the join
+// authority; -join stations contact it, are assigned the next linear
+// position, and serve broadcast/resolve/migrate traffic along the tree.
 // With -seed-course N the daemon authors a synthetic N-page course on
 // startup so a fresh deployment has something to serve.
 package main
@@ -26,6 +31,7 @@ import (
 	"repro/internal/blob"
 	"repro/internal/cluster"
 	"repro/internal/docdb"
+	"repro/internal/fabric"
 	"repro/internal/library"
 	"repro/internal/relstore"
 	"repro/internal/webui"
@@ -36,11 +42,18 @@ func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
 		httpAddr   = flag.String("http", "", "serve the Web-savvy virtual library UI on this address (empty disables)")
-		pos        = flag.Int("pos", 1, "station position in the linear joining order")
+		pos        = flag.Int("pos", 1, "station position in the linear joining order (standalone mode)")
 		walPath    = flag.String("wal", "", "write-ahead log path (empty disables persistence)")
 		seedCourse = flag.Int("seed-course", 0, "author a synthetic course with this many pages on startup")
+		root       = flag.Bool("root", false, "act as the distribution fabric root (instructor station, position 1)")
+		joinAddr   = flag.String("join", "", "join the distribution fabric via this root address")
+		degree     = flag.Int("m", 2, "distribution tree degree (root mode)")
+		watermark  = flag.Int("watermark", 1, "watermark frequency: fetches beyond this replicate locally (root mode; negative never replicates)")
 	)
 	flag.Parse()
+	if *root && *joinAddr != "" {
+		log.Fatal("webdocd: -root and -join are mutually exclusive")
+	}
 
 	rel := relstore.NewDB()
 	blobs := blob.NewStore()
@@ -77,36 +90,53 @@ func main() {
 		if err := rel.OpenWAL(*walPath); err != nil {
 			log.Fatalf("webdocd: opening WAL: %v", err)
 		}
-		defer rel.CloseWAL()
 	}
 
 	lib := library.New(store)
 	lib.RegisterInstructor("instructor")
-	if *seedCourse > 0 {
-		spec := workload.DefaultSpec(*pos)
-		spec.Pages = *seedCourse
-		spec.MediaScaleDown = 4096
-		if _, err := store.Script(spec.ScriptName); err == nil {
-			// The course came back with the WAL replay; re-seeding
-			// would collide with the restored rows.
-			log.Printf("webdocd: %s already present, skipping seed", spec.ScriptName)
-			if err := lib.Add(spec.ScriptName, fmt.Sprintf("MMU-%03d", *pos), "instructor"); err != nil {
-				log.Fatalf("webdocd: cataloging course: %v", err)
-			}
-		} else {
-			course, err := workload.BuildCourse(store, spec)
-			if err != nil {
-				log.Fatalf("webdocd: seeding course: %v", err)
-			}
-			if _, err := store.NewInstance(spec.URL, *pos, true); err != nil {
-				log.Fatalf("webdocd: recording instance: %v", err)
-			}
-			if err := lib.Add(spec.ScriptName, fmt.Sprintf("MMU-%03d", *pos), "instructor"); err != nil {
-				log.Fatalf("webdocd: cataloging course: %v", err)
-			}
-			log.Printf("webdocd: seeded %s (%d pages, %d media, %d bytes)",
-				spec.ScriptName, course.PageCount, course.MediaCount, course.MediaBytes)
+
+	// Start serving. In fabric mode the socket must be up before the
+	// join handshake (the root pushes bundles back to it); standalone
+	// stations seed first, serve after, like the original daemon.
+	var (
+		bound      string
+		stationPos int
+		stop       func() error
+	)
+	switch {
+	case *root:
+		// The root is position 1 and needs no peer to seed, so the
+		// course exists before the banner appears and the first
+		// broadcast can never race the seeding.
+		seed(store, lib, 1, *seedCourse)
+		st, err := fabric.NewRoot(store, *addr, *degree, *watermark)
+		if err != nil {
+			log.Fatalf("webdocd: starting fabric root: %v", err)
 		}
+		bound, stationPos, stop = st.Addr(), st.Pos(), st.Close
+		fmt.Printf("webdocd: station %d serving on %s (fabric root, m=%d, watermark=%d)\n",
+			stationPos, bound, *degree, *watermark)
+	case *joinAddr != "":
+		st, err := fabric.Join(store, *addr, *joinAddr)
+		if err != nil {
+			log.Fatalf("webdocd: joining fabric: %v", err)
+		}
+		// A joiner learns its position from the root, so it can only
+		// seed after the handshake; the banner waits for the seed.
+		seed(store, lib, st.Pos(), *seedCourse)
+		bound, stationPos, stop = st.Addr(), st.Pos(), st.Close
+		fmt.Printf("webdocd: station %d serving on %s (joined fabric via %s)\n",
+			stationPos, bound, *joinAddr)
+	default:
+		stationPos = *pos
+		seed(store, lib, stationPos, *seedCourse)
+		node := cluster.NewNode(stationPos, store)
+		b, err := node.Start(*addr)
+		if err != nil {
+			log.Fatalf("webdocd: listen: %v", err)
+		}
+		bound, stop = b, node.Close
+		fmt.Printf("webdocd: station %d serving on %s\n", stationPos, bound)
 	}
 
 	if *httpAddr != "" {
@@ -119,27 +149,57 @@ func main() {
 		}()
 	}
 
-	node := cluster.NewNode(*pos, store)
-	bound, err := node.Start(*addr)
-	if err != nil {
-		log.Fatalf("webdocd: listen: %v", err)
-	}
-	fmt.Printf("webdocd: station %d serving on %s\n", *pos, bound)
-
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Println("webdocd: shutting down")
-	node.Close()
-	if *walPath != "" {
-		f, err := os.Create(blobSnapPath)
-		if err != nil {
-			log.Printf("webdocd: writing BLOB snapshot: %v", err)
-			return
-		}
-		if err := blobs.Snapshot(f); err != nil {
-			log.Printf("webdocd: writing BLOB snapshot: %v", err)
-		}
-		f.Close()
+	// Orderly shutdown: stop serving, flush the BLOB sidecar snapshot,
+	// then close the WAL — a kill-and-restart cycle must preserve both
+	// the relational rows and the media bytes they point at.
+	if err := stop(); err != nil {
+		log.Printf("webdocd: closing station: %v", err)
 	}
+	if *walPath != "" {
+		if f, err := os.Create(blobSnapPath); err != nil {
+			log.Printf("webdocd: writing BLOB snapshot: %v", err)
+		} else {
+			if err := blobs.Snapshot(f); err != nil {
+				log.Printf("webdocd: writing BLOB snapshot: %v", err)
+			}
+			f.Close()
+		}
+		rel.CloseWAL()
+	}
+}
+
+// seed authors the synthetic startup course (pages > 0) unless the WAL
+// replay already brought it back.
+func seed(store *docdb.Store, lib *library.Library, pos, pages int) {
+	if pages <= 0 {
+		return
+	}
+	spec := workload.DefaultSpec(pos)
+	spec.Pages = pages
+	spec.MediaScaleDown = 4096
+	if _, err := store.Script(spec.ScriptName); err == nil {
+		// The course came back with the WAL replay; re-seeding
+		// would collide with the restored rows.
+		log.Printf("webdocd: %s already present, skipping seed", spec.ScriptName)
+		if err := lib.Add(spec.ScriptName, fmt.Sprintf("MMU-%03d", pos), "instructor"); err != nil {
+			log.Fatalf("webdocd: cataloging course: %v", err)
+		}
+		return
+	}
+	course, err := workload.BuildCourse(store, spec)
+	if err != nil {
+		log.Fatalf("webdocd: seeding course: %v", err)
+	}
+	if _, err := store.NewInstance(spec.URL, pos, true); err != nil {
+		log.Fatalf("webdocd: recording instance: %v", err)
+	}
+	if err := lib.Add(spec.ScriptName, fmt.Sprintf("MMU-%03d", pos), "instructor"); err != nil {
+		log.Fatalf("webdocd: cataloging course: %v", err)
+	}
+	log.Printf("webdocd: seeded %s (%d pages, %d media, %d bytes)",
+		spec.ScriptName, course.PageCount, course.MediaCount, course.MediaBytes)
 }

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/workload"
+)
+
+var (
+	buildBin string
+	buildErr error
+)
+
+// TestMain builds the webdocd binary once for every subprocess test.
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "webdocd-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	buildBin = filepath.Join(dir, "webdocd")
+	if out, err := exec.Command("go", "build", "-o", buildBin, ".").CombinedOutput(); err != nil {
+		buildErr = fmt.Errorf("building webdocd: %v\n%s", err, out)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// daemonBinary returns the binary built by TestMain.
+func daemonBinary(t *testing.T) string {
+	t.Helper()
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildBin
+}
+
+// startDaemon launches webdocd and parses the bound address from its
+// "serving on" banner.
+func startDaemon(t *testing.T, bin string, args ...string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "serving on "); i >= 0 {
+				rest := line[i+len("serving on "):]
+				if j := strings.IndexByte(rest, ' '); j >= 0 {
+					rest = rest[:j]
+				}
+				select {
+				case addrCh <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return addr, cmd
+	case <-time.After(10 * time.Second):
+		t.Fatal("webdocd did not report a listen address")
+		return "", nil
+	}
+}
+
+// stopDaemon delivers SIGTERM and waits for the orderly shutdown that
+// flushes the BLOB snapshot and closes the WAL.
+func stopDaemon(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("webdocd did not exit on SIGTERM")
+	}
+}
+
+// countMedia returns the impl_media rows visible over the station RPC.
+func countMedia(t *testing.T, rs *cluster.RemoteStation) int {
+	t.Helper()
+	reply, err := rs.SQL("SELECT res_id FROM impl_media")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(reply.Rows)
+}
+
+// TestKillRestartPreservesMedia seeds a persistent station, SIGTERMs
+// it, restarts it on the same WAL, and checks that both the relational
+// rows and the physical media bytes (BLOB sidecar snapshot) survived.
+func TestKillRestartPreservesMedia(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := daemonBinary(t)
+	wal := filepath.Join(t.TempDir(), "station1.wal")
+	spec := workload.DefaultSpec(1)
+
+	addr, cmd := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-pos", "1", "-wal", wal, "-seed-course", "3")
+	rs, err := cluster.DialStation(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mediaBefore := countMedia(t, rs)
+	if mediaBefore == 0 {
+		t.Fatal("seeded station has no media")
+	}
+	bundleBefore, err := rs.FetchBundle(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Close()
+	stopDaemon(t, cmd)
+
+	// Restart on the same WAL, without reseeding.
+	addr2, cmd2 := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-pos", "1", "-wal", wal)
+	rs2, err := cluster.DialStation(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs2.Close()
+	if got := countMedia(t, rs2); got != mediaBefore {
+		t.Errorf("media rows after restart = %d, want %d", got, mediaBefore)
+	}
+	// Exporting the bundle walks the BLOB store: it only succeeds when
+	// the sidecar snapshot brought the physical bytes back.
+	bundleAfter, err := rs2.FetchBundle(spec.URL)
+	if err != nil {
+		t.Fatalf("bundle after restart: %v", err)
+	}
+	if got, want := bundleAfter.TotalBytes(), bundleBefore.TotalBytes(); got != want {
+		t.Errorf("bundle bytes after restart = %d, want %d", got, want)
+	}
+	if len(bundleAfter.Media) != len(bundleBefore.Media) {
+		t.Errorf("bundle media after restart = %d, want %d", len(bundleAfter.Media), len(bundleBefore.Media))
+	}
+	for i, m := range bundleAfter.Media {
+		if len(m.Data) == 0 {
+			t.Errorf("media %d (%s) came back empty", i, m.Name)
+		}
+	}
+	stopDaemon(t, cmd2)
+}
+
+// TestDaemonFabricWalkthrough runs the README's three-station
+// deployment end to end through real processes: a root, two joiners, a
+// broadcast, a resolve and a migration.
+func TestDaemonFabricWalkthrough(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := daemonBinary(t)
+	spec := workload.DefaultSpec(1)
+
+	rootAddr, _ := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-root", "-m", "2", "-watermark", "0", "-seed-course", "3")
+	addr2, _ := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-join", rootAddr)
+	addr3, _ := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-join", rootAddr)
+
+	admin := fabric.DialAdmin(rootAddr)
+	defer admin.Close()
+	top, err := admin.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.N != 3 || !top.IsRoot {
+		t.Fatalf("topology = %+v", top)
+	}
+	res, err := admin.Broadcast(spec.URL, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stations) != 2 {
+		t.Fatalf("broadcast = %+v", res)
+	}
+	for _, sr := range res.Stations {
+		if sr.Err != "" {
+			t.Errorf("station %d: %s", sr.Pos, sr.Err)
+		}
+	}
+	// Both joiners hold the pages now.
+	for _, a := range []string{addr2, addr3} {
+		rs, err := cluster.DialStation(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply, err := rs.SQL("SELECT file_id FROM html_files")
+		rs.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reply.Rows) == 0 {
+			t.Errorf("station %s holds no pages after broadcast", a)
+		}
+	}
+	mig, err := admin.EndLecture(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Freed == 0 || len(mig.Stations) != 2 {
+		t.Errorf("migration = %+v", mig)
+	}
+	// After migration station 3 resolves the course again via its
+	// parent route; watermark 0 materializes immediately.
+	st3 := fabric.DialAdmin(addr3)
+	defer st3.Close()
+	fetch, err := st3.Fetch(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fetch.Replicated {
+		t.Errorf("fetch = %+v", fetch)
+	}
+}

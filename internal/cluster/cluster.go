@@ -184,27 +184,8 @@ func (c *Cluster) BroadcastReferences(url string) error {
 // installReference records the metadata scaffolding (database, script,
 // implementation rows) plus a reference object on a station.
 func installReference(st *Station, script docdb.Script, impl docdb.Implementation, pos int) error {
-	if _, err := st.Store.Database(script.DBName); err != nil {
-		if err := st.Store.CreateDatabase(docdb.Database{Name: script.DBName}); err != nil {
-			return err
-		}
-	}
-	if _, err := st.Store.Script(script.Name); err != nil {
-		if err := st.Store.CreateScript(script); err != nil {
-			return err
-		}
-	}
-	if _, err := st.Store.Implementation(impl.StartingURL); err != nil {
-		if err := st.Store.AddImplementation(impl); err != nil {
-			return err
-		}
-	}
-	if _, err := st.Store.ObjectByURL(impl.StartingURL); err != nil {
-		if _, err := st.Store.MakeReference(impl.StartingURL, pos, 1); err != nil {
-			return err
-		}
-	}
-	return nil
+	_, err := st.Store.ImportReference(script, impl, pos, 1)
+	return err
 }
 
 // PreBroadcast pushes the full lecture bundle down the m-ary tree with

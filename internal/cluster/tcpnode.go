@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/docdb"
 	"repro/internal/minisql"
@@ -13,7 +14,7 @@ import (
 // multi-node integration tests. The same docdb semantics run under both
 // fabrics; netsim measures time, Node moves real bytes.
 type Node struct {
-	Pos   int
+	pos   atomic.Int64
 	Store *docdb.Store
 	srv   *transport.Server
 	sql   *minisql.Session
@@ -59,7 +60,8 @@ type SQLReply struct {
 
 // NewNode wraps a station store in an RPC service.
 func NewNode(pos int, store *docdb.Store) *Node {
-	n := &Node{Pos: pos, Store: store, sql: minisql.NewSession(store.Rel())}
+	n := &Node{Store: store, sql: minisql.NewSession(store.Rel())}
+	n.pos.Store(int64(pos))
 	n.srv = transport.NewServer()
 	n.srv.Handle("Ping", n.handlePing)
 	n.srv.Handle("Bundle", n.handleBundle)
@@ -67,6 +69,21 @@ func NewNode(pos int, store *docdb.Store) *Node {
 	n.srv.Handle("SQL", n.handleSQL)
 	return n
 }
+
+// Pos returns the station's linear position in the joining order.
+func (n *Node) Pos() int { return int(n.pos.Load()) }
+
+// SetPos records the linear position once it is known. A station that
+// joins a live distribution fabric learns its position from the root
+// after its RPC service is already up, so the field must be safe to
+// set while handlers run.
+func (n *Node) SetPos(pos int) { n.pos.Store(int64(pos)) }
+
+// Handle registers an additional RPC method on the node's server —
+// the extension point the distribution fabric uses to add its
+// join/broadcast/resolve protocol beside the base station methods.
+// Like transport.Server.Handle it must be called before Start.
+func (n *Node) Handle(method string, h transport.Handler) { n.srv.Handle(method, h) }
 
 // Start begins serving on the address and returns the bound address.
 func (n *Node) Start(addr string) (string, error) {
@@ -85,7 +102,7 @@ func (n *Node) handlePing(decode func(any) error) (any, error) {
 	if count, err := n.Store.Rel().Count("doc_objects"); err == nil {
 		objects = int64(count)
 	}
-	return PingReply{Pos: n.Pos, Tables: n.Store.Rel().Tables(), Objects: objects}, nil
+	return PingReply{Pos: n.Pos(), Tables: n.Store.Rel().Tables(), Objects: objects}, nil
 }
 
 func (n *Node) handleBundle(decode func(any) error) (any, error) {
@@ -105,7 +122,7 @@ func (n *Node) handleImport(decode func(any) error) (any, error) {
 	if err := decode(&req); err != nil {
 		return nil, err
 	}
-	obj, err := n.Store.ImportBundle(&req.Bundle, n.Pos, req.Persistent)
+	obj, err := n.Store.ImportBundle(&req.Bundle, n.Pos(), req.Persistent)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/docdb"
+	"repro/internal/relstore"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// TestNodeConcurrentImportAndSQL hammers one station node with
+// concurrent Import, SQL and Ping RPCs from multiple connections — the
+// traffic shape a fabric station sees when a broadcast lands while
+// administrators query it. Run it under -race: it is the distributed
+// counterpart of the relstore/docdb concurrency suites.
+func TestNodeConcurrentImportAndSQL(t *testing.T) {
+	_, addr, _ := startNode(t, 1, false)
+
+	// Pre-build one distinct bundle per importer on scratch stores.
+	const importers = 6
+	bundles := make([]*docdb.Bundle, importers)
+	for i := 0; i < importers; i++ {
+		src, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.Now = func() time.Time { return time.Date(1999, 4, 21, 0, 0, 0, 0, time.UTC) }
+		spec := smallCourse(10 + i)
+		if _, err := workload.BuildCourse(src, spec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := src.NewInstance(spec.URL, 1, true); err != nil {
+			t.Fatal(err)
+		}
+		b, err := src.ExportBundle(spec.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bundles[i] = b
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, importers*4)
+
+	// Importers: each pushes its own bundle, then re-imports it (the
+	// no-op resident path) a few times.
+	for i := 0; i < importers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs, err := DialStation(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer rs.Close()
+			for k := 0; k < 3; k++ {
+				reply, err := rs.Import(bundles[i], false)
+				if err != nil {
+					errs <- fmt.Errorf("import %d: %w", i, err)
+					return
+				}
+				if reply.Form != schema.FormInstance {
+					errs <- fmt.Errorf("import %d: form %s", i, reply.Form)
+					return
+				}
+			}
+		}()
+	}
+
+	// Readers: SQL scans and pings interleaved with the imports.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs, err := DialStation(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer rs.Close()
+			for k := 0; k < 10; k++ {
+				if _, err := rs.SQL("SELECT script_name FROM scripts"); err != nil {
+					errs <- fmt.Errorf("sql: %w", err)
+					return
+				}
+				if _, err := rs.SQL("SELECT file_id FROM html_files LIMIT 5"); err != nil {
+					errs <- fmt.Errorf("sql files: %w", err)
+					return
+				}
+				if _, err := rs.Ping(); err != nil {
+					errs <- fmt.Errorf("ping: %w", err)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every bundle landed exactly once.
+	rs, err := DialStation(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	info, err := rs.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Objects != importers {
+		t.Errorf("document objects = %d, want %d", info.Objects, importers)
+	}
+}

@@ -226,6 +226,44 @@ func (s *Store) copyStructure(srcURL, dstURL, scriptName, author string) error {
 	return nil
 }
 
+// ensureScaffold installs the metadata a document hangs off — the
+// database, script and implementation rows — when missing. Both
+// import paths (full bundles and bare references) share it.
+func (s *Store) ensureScaffold(script Script, impl Implementation) error {
+	if !s.rel.Exists(schema.TableDatabases, script.DBName) {
+		if err := s.CreateDatabase(Database{Name: script.DBName}); err != nil {
+			return err
+		}
+	}
+	if !s.rel.Exists(schema.TableScripts, script.Name) {
+		if err := s.CreateScript(script); err != nil {
+			return err
+		}
+	}
+	if !s.rel.Exists(schema.TableImpls, impl.StartingURL) {
+		if err := s.AddImplementation(impl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImportReference installs the metadata scaffolding for a document
+// whose physical instance lives on another station, plus a reference
+// object pointing at the origin. This is what the paper broadcasts to
+// remote stations when an instance is created — "references to the
+// instance are broadcasted and stored in many remote stations". An
+// existing object for the URL (any form) is returned unchanged.
+func (s *Store) ImportReference(script Script, impl Implementation, station, origin int) (DocObject, error) {
+	if err := s.ensureScaffold(script, impl); err != nil {
+		return DocObject{}, err
+	}
+	if obj, err := s.ObjectByURL(impl.StartingURL); err == nil {
+		return obj, nil
+	}
+	return s.MakeReference(impl.StartingURL, station, origin)
+}
+
 // MigrateToReference converts a non-persistent local instance into a
 // reference, freeing the document content and releasing the BLOBs it
 // held: "after a lecture is presented, duplicated document instances
@@ -525,20 +563,8 @@ func (s *Store) ImportBundle(b *Bundle, station int, persistent bool) (DocObject
 	if obj, err := s.ObjectByURL(b.Impl.StartingURL); err == nil && obj.Form == schema.FormInstance {
 		return obj, nil
 	}
-	if !s.rel.Exists(schema.TableDatabases, b.Script.DBName) {
-		if err := s.CreateDatabase(Database{Name: b.Script.DBName}); err != nil {
-			return DocObject{}, err
-		}
-	}
-	if !s.rel.Exists(schema.TableScripts, b.Script.Name) {
-		if err := s.CreateScript(b.Script); err != nil {
-			return DocObject{}, err
-		}
-	}
-	if !s.rel.Exists(schema.TableImpls, b.Impl.StartingURL) {
-		if err := s.AddImplementation(b.Impl); err != nil {
-			return DocObject{}, err
-		}
+	if err := s.ensureScaffold(b.Script, b.Impl); err != nil {
+		return DocObject{}, err
 	}
 	// The document-layer files land in one batch: one lock acquisition
 	// over the two file tables and one WAL append for the whole bundle,

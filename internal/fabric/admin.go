@@ -1,0 +1,106 @@
+package fabric
+
+import (
+	"time"
+
+	"repro/internal/transport"
+)
+
+// BroadcastRequest asks the root to run a tree-wide broadcast.
+type BroadcastRequest struct {
+	URL     string
+	RefOnly bool
+}
+
+// FetchRequest asks a station to resolve a document for itself.
+type FetchRequest struct {
+	URL string
+}
+
+// EndLectureRequest asks the root to run a tree-wide migration.
+type EndLectureRequest struct {
+	URL string
+}
+
+// handleBroadcast lets an administrative client trigger Broadcast on
+// the root station.
+func (s *Station) handleBroadcast(decode func(any) error) (any, error) {
+	var req BroadcastRequest
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	res, err := s.Broadcast(req.URL, req.RefOnly)
+	if err != nil {
+		return nil, err
+	}
+	return *res, nil
+}
+
+// handleFetch lets an administrative client make a station resolve a
+// document for itself, applying its watermark policy.
+func (s *Station) handleFetch(decode func(any) error) (any, error) {
+	var req FetchRequest
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	return s.Resolve(req.URL)
+}
+
+// handleEndLecture lets an administrative client trigger the
+// end-of-lecture migration on the root station.
+func (s *Station) handleEndLecture(decode func(any) error) (any, error) {
+	var req EndLectureRequest
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	res, err := s.EndLecture(req.URL)
+	if err != nil {
+		return nil, err
+	}
+	return *res, nil
+}
+
+// Admin is a typed administrative client for fabric stations — the
+// class administrator front end of the distribution layer, used by
+// webdocctl.
+type Admin struct {
+	pool *transport.Pool
+}
+
+// DialAdmin builds an administrative client for one station address.
+// Connections open lazily on first use.
+func DialAdmin(addr string) *Admin {
+	return &Admin{pool: transport.NewPool(addr, 2, 5*time.Minute)}
+}
+
+// Close releases the client's connections.
+func (a *Admin) Close() { a.pool.Close() }
+
+// Topology fetches the station's view of the fabric.
+func (a *Admin) Topology() (TopologyReply, error) {
+	var reply TopologyReply
+	err := a.pool.Call(methodTopology, struct{}{}, &reply)
+	return reply, err
+}
+
+// Broadcast runs a tree-wide broadcast from the root station.
+func (a *Admin) Broadcast(url string, refOnly bool) (BroadcastResult, error) {
+	var reply BroadcastResult
+	err := a.pool.Call(methodBroadcast, BroadcastRequest{URL: url, RefOnly: refOnly}, &reply)
+	return reply, err
+}
+
+// Fetch makes the dialed station resolve a document for itself via its
+// parent route.
+func (a *Admin) Fetch(url string) (FetchResult, error) {
+	var reply FetchResult
+	err := a.pool.Call(methodFetch, FetchRequest{URL: url}, &reply)
+	return reply, err
+}
+
+// EndLecture runs the post-lecture migration from the root station.
+func (a *Admin) EndLecture(url string) (MigrateReply, error) {
+	var reply MigrateReply
+	err := a.pool.Call(methodEndLecture, EndLectureRequest{URL: url}, &reply)
+	return reply, err
+}

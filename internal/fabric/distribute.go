@@ -1,0 +1,365 @@
+package fabric
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/docdb"
+	"repro/internal/mtree"
+	"repro/internal/schema"
+)
+
+// PushRequest carries one broadcast hop: the bundle, the install
+// policy and the topology snapshot the receiving station fans out
+// under. RefOnly bundles hold just the script and implementation rows
+// (the metadata closure of a document reference).
+type PushRequest struct {
+	Bundle    docdb.Bundle
+	RefOnly   bool
+	M         int
+	N         int
+	Watermark int
+	Roster    map[int]string
+}
+
+// StationResult reports the outcome of a broadcast or migration on one
+// station.
+type StationResult struct {
+	Pos   int
+	Form  string // resulting object form ("" when Err is set)
+	Freed int64  // migration only: physical bytes reclaimed
+	Err   string
+}
+
+// PushReply aggregates the results of a station and its whole subtree.
+type PushReply struct {
+	Results []StationResult
+}
+
+// BroadcastResult summarizes one tree-wide broadcast.
+type BroadcastResult struct {
+	URL      string
+	RefOnly  bool
+	Bytes    int64 // transfer size of one bundle copy
+	Stations []StationResult
+}
+
+// ResolveRequest walks one hop up the parent route.
+type ResolveRequest struct {
+	URL string
+	TTL int // remaining hops; guards against roster corruption loops
+}
+
+// ResolveReply carries the bundle back down the route.
+type ResolveReply struct {
+	Bundle   docdb.Bundle
+	ServedBy int
+}
+
+// MigrateRequest propagates an end-of-lecture migration down the tree.
+type MigrateRequest struct {
+	URL       string
+	M         int
+	N         int
+	Watermark int
+	Roster    map[int]string
+}
+
+// MigrateReply aggregates a subtree's migration outcome.
+type MigrateReply struct {
+	Freed    int64
+	Stations []StationResult
+}
+
+// FetchResult reports one on-demand retrieval, mirroring the
+// simulator's cluster.FetchResult.
+type FetchResult struct {
+	URL        string
+	ServedBy   int  // position of the station that supplied the data
+	Local      bool // the document was already resident
+	Replicated bool // this fetch crossed the watermark and materialized a copy
+	Fetches    int  // remote retrievals so far, including this one
+	Bytes      int64
+}
+
+// Broadcast pushes a document from the root down the m-ary tree,
+// hop-by-hop with store-and-forward relaying and parallel fan-out to
+// children. With refOnly the stations install document references (the
+// paper's broadcast-of-references when an instance is created);
+// otherwise they import full instances (pre-broadcast before a
+// lecture). Unreachable subtrees are reported per station in the
+// result, not as a call failure.
+func (s *Station) Broadcast(url string, refOnly bool) (*BroadcastResult, error) {
+	if !s.isRoot {
+		return nil, fmt.Errorf("%w: broadcast", ErrNotRoot)
+	}
+	var bundle *docdb.Bundle
+	if refOnly {
+		impl, err := s.store.Implementation(url)
+		if err != nil {
+			return nil, err
+		}
+		script, err := s.store.Script(impl.ScriptName)
+		if err != nil {
+			return nil, err
+		}
+		bundle = &docdb.Bundle{Script: script, Impl: impl}
+	} else {
+		var err error
+		bundle, err = s.store.ExportBundle(url)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pos, m, n, wm, roster := s.snapshot()
+	req := PushRequest{Bundle: *bundle, RefOnly: refOnly, M: m, N: n, Watermark: wm, Roster: roster}
+	results, err := s.fanOut(pos, req)
+	if err != nil {
+		return nil, err
+	}
+	sortResults(results)
+	return &BroadcastResult{URL: url, RefOnly: refOnly, Bytes: bundle.TotalBytes(), Stations: results}, nil
+}
+
+// fanOut relays a push to every child of pos in parallel and collects
+// the subtree results. A child that cannot be reached is reported with
+// its error; its subtree is necessarily unreached.
+func (s *Station) fanOut(pos int, req PushRequest) ([]StationResult, error) {
+	var mu sync.Mutex
+	var results []StationResult
+	err := eachChild(pos, req.M, req.N, req.Roster, func(kid int, addr string) {
+		var reply PushReply
+		err := s.pool(addr).Call(methodPush, req, &reply)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			results = append(results, StationResult{Pos: kid, Err: err.Error()})
+			return
+		}
+		results = append(results, reply.Results...)
+	})
+	return results, err
+}
+
+// handlePush installs the pushed document locally (store), then
+// relays it to this station's children (forward) and aggregates the
+// subtree results.
+func (s *Station) handlePush(decode func(any) error) (any, error) {
+	var req PushRequest
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.applyTopology(req.M, req.N, req.Watermark, req.Roster)
+	pos := s.pos
+	s.mu.Unlock()
+	if pos == 0 {
+		return nil, ErrNotJoined
+	}
+	res := StationResult{Pos: pos}
+	s.importMu.Lock()
+	if req.RefOnly {
+		obj, err := s.store.ImportReference(req.Bundle.Script, req.Bundle.Impl, pos, 1)
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			res.Form = obj.Form
+		}
+	} else {
+		obj, err := s.store.ImportBundle(&req.Bundle, pos, false)
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			res.Form = obj.Form
+		}
+	}
+	s.importMu.Unlock()
+	sub, err := s.fanOut(pos, req)
+	if err != nil {
+		return nil, err
+	}
+	return PushReply{Results: append([]StationResult{res}, sub...)}, nil
+}
+
+// Resolve retrieves a document for this station: served locally when
+// an instance is resident, otherwise pulled via the parent route (each
+// ancestor serves from a local instance or relays upward). Crossing
+// the watermark frequency imports the bundle, materializing local
+// BLOBs.
+func (s *Station) Resolve(url string) (FetchResult, error) {
+	s.mu.Lock()
+	pos, m, n := s.pos, s.m, s.n
+	wm := s.watermark
+	s.mu.Unlock()
+	if pos == 0 {
+		return FetchResult{}, ErrNotJoined
+	}
+	if obj, err := s.store.ObjectByURL(url); err == nil && obj.Form != schema.FormReference {
+		return FetchResult{URL: url, Local: true, ServedBy: pos}, nil
+	}
+	if pos == 1 {
+		return FetchResult{}, fmt.Errorf("%w: %s", ErrNoInstance, url)
+	}
+	reply, err := s.resolveViaParent(url, pos, m, n+1)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	s.mu.Lock()
+	s.fetches[url]++
+	fetches := s.fetches[url]
+	s.mu.Unlock()
+	res := FetchResult{
+		URL:      url,
+		ServedBy: reply.ServedBy,
+		Fetches:  fetches,
+		Bytes:    reply.Bundle.TotalBytes(),
+	}
+	if wm >= 0 && fetches > wm {
+		s.importMu.Lock()
+		_, err := s.store.ImportBundle(&reply.Bundle, pos, false)
+		s.importMu.Unlock()
+		if err != nil {
+			return res, err
+		}
+		res.Replicated = true
+	}
+	return res, nil
+}
+
+// resolveViaParent asks this station's parent to resolve the URL.
+func (s *Station) resolveViaParent(url string, pos, m, ttl int) (*ResolveReply, error) {
+	parent, err := mtree.Parent(pos, m)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	addr, ok := s.roster[parent]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fabric: no address for parent station %d", parent)
+	}
+	var reply ResolveReply
+	if err := s.pool(addr).Call(methodResolve, ResolveRequest{URL: url, TTL: ttl}, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// handleResolve serves a bundle from a local instance or relays the
+// request one hop further up the parent route.
+func (s *Station) handleResolve(decode func(any) error) (any, error) {
+	var req ResolveRequest
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	if req.TTL <= 0 {
+		return nil, ErrRouteLoop
+	}
+	s.mu.Lock()
+	pos, m := s.pos, s.m
+	s.mu.Unlock()
+	if pos == 0 {
+		return nil, ErrNotJoined
+	}
+	if obj, err := s.store.ObjectByURL(req.URL); err == nil && obj.Form != schema.FormReference {
+		bundle, err := s.store.ExportBundle(req.URL)
+		if err != nil {
+			return nil, err
+		}
+		return ResolveReply{Bundle: *bundle, ServedBy: pos}, nil
+	}
+	if pos == 1 {
+		return nil, fmt.Errorf("%w: %s", ErrNoInstance, req.URL)
+	}
+	reply, err := s.resolveViaParent(req.URL, pos, m, req.TTL-1)
+	if err != nil {
+		return nil, err
+	}
+	return *reply, nil
+}
+
+// EndLecture migrates every non-persistent instance of the document in
+// the tree back to a reference, reclaiming the buffer space — "after a
+// lecture is presented, duplicated document instances migrate to
+// document references."
+func (s *Station) EndLecture(url string) (*MigrateReply, error) {
+	if !s.isRoot {
+		return nil, fmt.Errorf("%w: end-lecture migration", ErrNotRoot)
+	}
+	pos, m, n, wm, roster := s.snapshot()
+	req := MigrateRequest{URL: url, M: m, N: n, Watermark: wm, Roster: roster}
+	reply := s.migrateSubtree(pos, req, s.migrateLocal(url, pos))
+	sortResults(reply.Stations)
+	return &reply, nil
+}
+
+// migrateLocal migrates this station's own copy if it is a
+// non-persistent instance, reporting the physical bytes reclaimed.
+func (s *Station) migrateLocal(url string, pos int) *StationResult {
+	obj, err := s.store.ObjectByURL(url)
+	if err != nil || obj.Form != schema.FormInstance || obj.Persistent {
+		return nil
+	}
+	res := StationResult{Pos: pos}
+	before := s.store.Blobs().Stats().PhysicalBytes
+	if err := s.store.MigrateToReference(obj.ID, 1); err != nil {
+		res.Err = err.Error()
+	} else {
+		res.Form = schema.FormReference
+		res.Freed = before - s.store.Blobs().Stats().PhysicalBytes
+		s.mu.Lock()
+		delete(s.fetches, url)
+		s.mu.Unlock()
+	}
+	return &res
+}
+
+// migrateSubtree fans the migration out to the children of pos and
+// folds the local result (if any) into the aggregate.
+func (s *Station) migrateSubtree(pos int, req MigrateRequest, local *StationResult) MigrateReply {
+	var out MigrateReply
+	if local != nil {
+		out.Stations = append(out.Stations, *local)
+		out.Freed += local.Freed
+	}
+	var mu sync.Mutex
+	err := eachChild(pos, req.M, req.N, req.Roster, func(kid int, addr string) {
+		var reply MigrateReply
+		err := s.pool(addr).Call(methodMigrate, req, &reply)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			out.Stations = append(out.Stations, StationResult{Pos: kid, Err: err.Error()})
+			return
+		}
+		out.Freed += reply.Freed
+		out.Stations = append(out.Stations, reply.Stations...)
+	})
+	if err != nil {
+		out.Stations = append(out.Stations, StationResult{Pos: pos, Err: err.Error()})
+	}
+	return out
+}
+
+// handleMigrate migrates the local copy and relays down the subtree.
+func (s *Station) handleMigrate(decode func(any) error) (any, error) {
+	var req MigrateRequest
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.applyTopology(req.M, req.N, req.Watermark, req.Roster)
+	pos := s.pos
+	s.mu.Unlock()
+	if pos == 0 {
+		return nil, ErrNotJoined
+	}
+	return s.migrateSubtree(pos, req, s.migrateLocal(req.URL, pos)), nil
+}
+
+// IsNoInstance reports whether an error (possibly a transport-carried
+// string) means no station on the route held an instance.
+func IsNoInstance(err error) bool {
+	return err != nil && strings.Contains(err.Error(), ErrNoInstance.Error())
+}

@@ -1,0 +1,384 @@
+// Package fabric is the live distribution subsystem of the paper's
+// section 4: N webdocd stations joined in linear order form a full
+// m-ary distribution tree over real TCP sockets and move real document
+// bundles along its edges. It is the deployed counterpart of the
+// internal/cluster discrete-event simulation — the same placement
+// arithmetic (internal/mtree), the same bundle closure
+// (docdb.Bundle/ImportBundle) and the same watermark policy, but with
+// live peers instead of simulated time.
+//
+// The subsystem has four moving parts:
+//
+//   - a join/topology protocol: a station contacts the root with its
+//     listen address, is assigned the next linear position, and learns
+//     the tree degree, the watermark frequency and the roster
+//     (position -> address) from which it derives its parent route;
+//   - Broadcast: the instructor station (the root) pushes a course's
+//     bundle down the tree hop-by-hop with store-and-forward relaying;
+//     each station imports, then fans out to its children in parallel.
+//     A reference-only broadcast carries just the metadata closure and
+//     installs document references instead of instances;
+//   - Resolve: a station missing a document walks its parent route —
+//     each ancestor either serves the bundle from a local instance or
+//     relays the request to its own parent. Crossing the watermark
+//     frequency materializes a local instance (copies the BLOBs);
+//   - Migrate: after the lecture window, every non-persistent instance
+//     in the tree migrates back to a document reference, reclaiming
+//     the buffer space.
+//
+// Stations keep serving the base station RPCs (Ping, Bundle, Import,
+// SQL) — the fabric methods ride on the same cluster.Node server.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/docdb"
+	"repro/internal/mtree"
+	"repro/internal/transport"
+)
+
+// Fabric errors.
+var (
+	ErrNotRoot    = errors.New("fabric: operation requires the root station")
+	ErrNotJoined  = errors.New("fabric: station has not joined a fabric")
+	ErrNoInstance = errors.New("fabric: no station on the parent route holds an instance")
+	ErrBadDegree  = errors.New("fabric: tree degree must be >= 1")
+	ErrRouteLoop  = errors.New("fabric: resolve exceeded the route length")
+)
+
+// Tuning knobs for the per-peer connection pools and the join
+// handshake.
+const (
+	peerPoolSize = 4
+	callTimeout  = 2 * time.Minute
+	joinAttempts = 10
+	joinBackoff  = 150 * time.Millisecond
+)
+
+// RPC method names. They live beside the base station methods on the
+// same transport server.
+const (
+	methodJoin       = "Fabric.Join"
+	methodTopology   = "Fabric.Topology"
+	methodPush       = "Fabric.Push"
+	methodResolve    = "Fabric.Resolve"
+	methodMigrate    = "Fabric.Migrate"
+	methodBroadcast  = "Fabric.Broadcast"
+	methodFetch      = "Fabric.Fetch"
+	methodEndLecture = "Fabric.EndLecture"
+)
+
+// JoinRequest announces a new station's listen address to the root.
+type JoinRequest struct {
+	Addr string
+}
+
+// JoinReply assigns the joiner its linear position and hands it the
+// policy and the roster it derives its parent route from.
+type JoinReply struct {
+	Pos       int
+	M         int
+	N         int
+	Watermark int
+	Roster    map[int]string
+}
+
+// TopologyReply describes a station's view of the fabric.
+type TopologyReply struct {
+	Pos       int
+	M         int
+	N         int
+	Watermark int
+	IsRoot    bool
+	Roster    map[int]string
+}
+
+// Station is one live fabric member: a cluster.Node (the base station
+// RPC service) plus the distribution state — position, roster, fetch
+// counters and the connection pools to its peers.
+type Station struct {
+	node   *cluster.Node
+	store  *docdb.Store
+	isRoot bool
+	addr   string
+
+	mu        sync.Mutex
+	closed    bool
+	pos       int
+	m         int
+	n         int
+	watermark int
+	roster    map[int]string
+	fetches   map[string]int
+	pools     map[string]*transport.Pool
+
+	// importMu serializes bundle installs on this station: a broadcast
+	// push racing an on-demand materialization of the same URL would
+	// otherwise both pass ImportBundle's residency check and collide on
+	// the file rows.
+	importMu sync.Mutex
+}
+
+func newStation(store *docdb.Store, isRoot bool, m, watermark int) *Station {
+	s := &Station{
+		store:     store,
+		isRoot:    isRoot,
+		m:         m,
+		watermark: watermark,
+		roster:    make(map[int]string),
+		fetches:   make(map[string]int),
+		pools:     make(map[string]*transport.Pool),
+	}
+	s.node = cluster.NewNode(0, store)
+	s.node.Handle(methodJoin, s.handleJoin)
+	s.node.Handle(methodTopology, s.handleTopology)
+	s.node.Handle(methodPush, s.handlePush)
+	s.node.Handle(methodResolve, s.handleResolve)
+	s.node.Handle(methodMigrate, s.handleMigrate)
+	s.node.Handle(methodBroadcast, s.handleBroadcast)
+	s.node.Handle(methodFetch, s.handleFetch)
+	s.node.Handle(methodEndLecture, s.handleEndLecture)
+	return s
+}
+
+// NewRoot starts the instructor station: position 1, the root of the
+// m-ary distribution tree, and the authority for join requests. A
+// negative watermark means on-demand pulls never replicate.
+func NewRoot(store *docdb.Store, addr string, m, watermark int) (*Station, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadDegree, m)
+	}
+	s := newStation(store, true, m, watermark)
+	// The root's own position is fixed before the socket opens; until
+	// its bound address lands in the roster, handleJoin turns joiners
+	// away with a retryable not-ready error.
+	s.mu.Lock()
+	s.pos = 1
+	s.n = 1
+	s.mu.Unlock()
+	s.node.SetPos(1)
+	bound, err := s.node.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.addr = bound
+	s.roster[1] = bound
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Join starts a station and registers it with the fabric root at
+// rootAddr: the station begins serving on addr first (so the root can
+// reach it), then asks the root for its linear position, the degree,
+// the watermark policy and the roster. The handshake retries with
+// backoff, so joiners may start concurrently with (or slightly before)
+// their root.
+func Join(store *docdb.Store, addr, rootAddr string) (*Station, error) {
+	s := newStation(store, false, 0, 0)
+	bound, err := s.node.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.addr = bound
+	s.mu.Unlock()
+	var reply JoinReply
+	for attempt := 0; ; attempt++ {
+		err = s.pool(rootAddr).Call(methodJoin, JoinRequest{Addr: bound}, &reply)
+		if err == nil {
+			break
+		}
+		if attempt+1 >= joinAttempts {
+			s.Close()
+			return nil, fmt.Errorf("fabric: joining via %s: %w", rootAddr, err)
+		}
+		time.Sleep(joinBackoff)
+	}
+	s.mu.Lock()
+	s.applyTopology(reply.M, reply.N, reply.Watermark, reply.Roster)
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Addr returns the station's bound listen address.
+func (s *Station) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// Pos returns the station's linear position (0 before a join
+// completes).
+func (s *Station) Pos() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pos
+}
+
+// Store exposes the station's document database.
+func (s *Station) Store() *docdb.Store { return s.store }
+
+// Node exposes the underlying base station service.
+func (s *Station) Node() *cluster.Node { return s.node }
+
+// Fetches returns how many times this station has pulled the document
+// from a remote holder since the last migration.
+func (s *Station) Fetches(url string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fetches[url]
+}
+
+// Close stops serving and releases every peer connection.
+func (s *Station) Close() error {
+	err := s.node.Close()
+	s.mu.Lock()
+	s.closed = true
+	pools := s.pools
+	s.pools = make(map[string]*transport.Pool)
+	s.mu.Unlock()
+	for _, p := range pools {
+		p.Close()
+	}
+	return err
+}
+
+// pool returns the connection pool for a peer address, creating it
+// lazily. After Close it hands out an already-closed pool, so an
+// in-flight handler's late fan-out fails fast with ErrClosed instead
+// of leaking an untracked pool.
+func (s *Station) pool(addr string) *transport.Pool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pools[addr]
+	if !ok {
+		p = transport.NewPool(addr, peerPoolSize, callTimeout)
+		if s.closed {
+			p.Close()
+			return p
+		}
+		s.pools[addr] = p
+	}
+	return p
+}
+
+// applyTopology folds a roster snapshot and the root's policy into the
+// station's state (mu held). Snapshots originate at the root, so a
+// larger station count means a newer view; the station derives its own
+// position by finding its address, which also covers the race where a
+// broadcast reaches a joiner before its JoinReply does — carrying the
+// watermark here means that station also runs the configured
+// replication policy, not the zero value.
+func (s *Station) applyTopology(m, n, watermark int, roster map[int]string) {
+	if n < s.n || len(roster) == 0 {
+		return
+	}
+	s.m = m
+	s.n = n
+	s.watermark = watermark
+	s.roster = make(map[int]string, len(roster))
+	for pos, addr := range roster {
+		s.roster[pos] = addr
+	}
+	for pos, addr := range roster {
+		if addr == s.addr {
+			s.pos = pos
+			s.node.SetPos(pos)
+			break
+		}
+	}
+}
+
+// snapshot returns the station's topology view (position, degree,
+// size, watermark, roster copy) for use outside the lock.
+func (s *Station) snapshot() (pos, m, n, watermark int, roster map[int]string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	roster = make(map[int]string, len(s.roster))
+	for p, a := range s.roster {
+		roster[p] = a
+	}
+	return s.pos, s.m, s.n, s.watermark, roster
+}
+
+// handleJoin assigns the next linear position. Only the root holds the
+// authoritative roster. Joining is idempotent per address: a joiner
+// whose reply was lost retries and gets its original position back
+// instead of a duplicate roster entry.
+func (s *Station) handleJoin(decode func(any) error) (any, error) {
+	var req JoinRequest
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	if !s.isRoot {
+		return nil, fmt.Errorf("%w: join", ErrNotRoot)
+	}
+	if req.Addr == "" {
+		return nil, errors.New("fabric: join without a listen address")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.roster[1] == "" {
+		return nil, errors.New("fabric: root is still starting, retry")
+	}
+	pos := 0
+	for p, a := range s.roster {
+		if a == req.Addr {
+			pos = p
+			break
+		}
+	}
+	if pos == 0 {
+		s.n++
+		pos = s.n
+		s.roster[pos] = req.Addr
+	}
+	roster := make(map[int]string, len(s.roster))
+	for p, a := range s.roster {
+		roster[p] = a
+	}
+	return JoinReply{Pos: pos, M: s.m, N: s.n, Watermark: s.watermark, Roster: roster}, nil
+}
+
+// handleTopology reports the station's current view of the fabric.
+func (s *Station) handleTopology(decode func(any) error) (any, error) {
+	var req struct{}
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	pos, m, n, wm, roster := s.snapshot()
+	return TopologyReply{Pos: pos, M: m, N: n, Watermark: wm, IsRoot: s.isRoot, Roster: roster}, nil
+}
+
+// eachChild runs fn concurrently for every existing child of pos under
+// the request's topology snapshot — the parallel fan-out of one
+// broadcast hop.
+func eachChild(pos, m, n int, roster map[int]string, fn func(kid int, addr string)) error {
+	kids, err := mtree.Children(pos, m, n)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	for _, kid := range kids {
+		kid := kid
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(kid, roster[kid])
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// sortResults orders per-station results by linear position.
+func sortResults(rs []StationResult) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Pos < rs[j].Pos })
+}

@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Pool defaults.
+const (
+	// DefaultPoolSize bounds the connections (and therefore the
+	// concurrent calls) a pool opens to one server.
+	DefaultPoolSize = 4
+	// DefaultCallTimeout is the per-call deadline a pool applies when
+	// the caller does not choose one.
+	DefaultCallTimeout = 30 * time.Second
+
+	dialAttempts = 3
+	dialBackoff  = 10 * time.Millisecond
+)
+
+// Pool is a bounded set of client connections to one server address
+// with lazy dialing, reconnect-with-backoff and a per-call timeout.
+// A single Client serializes nothing (calls are correlated), but one
+// TCP stream still carries every frame; a pool lets bulk fan-out —
+// the fabric pushing bundles to m children at once — use parallel
+// streams while capping the sockets held per peer. Call is safe for
+// concurrent use; calls beyond the pool size queue for a free slot.
+type Pool struct {
+	addr    string
+	timeout time.Duration
+	slots   chan struct{}
+
+	mu     sync.Mutex
+	idle   []*Client
+	closed bool
+}
+
+// NewPool builds a pool for one server address. size <= 0 selects
+// DefaultPoolSize; timeout <= 0 selects DefaultCallTimeout. No
+// connection is opened until the first Call.
+func NewPool(addr string, size int, timeout time.Duration) *Pool {
+	if size <= 0 {
+		size = DefaultPoolSize
+	}
+	if timeout <= 0 {
+		timeout = DefaultCallTimeout
+	}
+	return &Pool{addr: addr, timeout: timeout, slots: make(chan struct{}, size)}
+}
+
+// Addr returns the server address the pool dials.
+func (p *Pool) Addr() string { return p.addr }
+
+// Call invokes a method through a pooled connection, dialing lazily
+// when no idle connection exists. A connection that suffered a
+// transport-level failure (closed, timed out, write error) is
+// discarded; if that connection came from the idle set — it may simply
+// have gone stale while parked, e.g. across a peer restart — the call
+// retries once on a freshly dialed connection. Timed-out calls are
+// never retried (the server may still be executing them). Server-side
+// errors travel back as ordinary errors and keep the connection
+// pooled.
+func (p *Pool) Call(method string, req, resp any) error {
+	p.slots <- struct{}{}
+	defer func() { <-p.slots }()
+	c, fromIdle, err := p.get()
+	if err != nil {
+		return err
+	}
+	err, reusable := c.do(method, req, resp, p.timeout)
+	if reusable {
+		p.put(c)
+		return err
+	}
+	c.Close()
+	if !fromIdle || errors.Is(err, ErrTimeout) {
+		return err
+	}
+	fresh, dialErr := p.dial()
+	if dialErr != nil {
+		return dialErr
+	}
+	err, reusable = fresh.do(method, req, resp, p.timeout)
+	if reusable {
+		p.put(fresh)
+	} else {
+		fresh.Close()
+	}
+	return err
+}
+
+// get pops an idle connection (reporting that it did) or dials a fresh
+// one.
+func (p *Pool) get() (*Client, bool, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, true, nil
+	}
+	p.mu.Unlock()
+	c, err := p.dial()
+	return c, false, err
+}
+
+// dial opens a fresh connection, retrying a cold peer a few times with
+// exponential backoff (a station that is restarting comes back within
+// the window).
+func (p *Pool) dial() (*Client, error) {
+	backoff := dialBackoff
+	var lastErr error
+	for attempt := 0; attempt < dialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 4
+		}
+		c, err := Dial(p.addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (p *Pool) put(c *Client) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+}
+
+// Close discards every idle connection; subsequent calls fail with
+// ErrClosed. Connections busy in a call close when their call returns.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}

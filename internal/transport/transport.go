@@ -32,6 +32,7 @@ var (
 	ErrTooLarge  = errors.New("transport: frame exceeds limit")
 	ErrNoMethod  = errors.New("transport: no such method")
 	ErrBadHeader = errors.New("transport: corrupt frame header")
+	ErrTimeout   = errors.New("transport: call timed out")
 )
 
 // envelope is the wire message.
@@ -276,10 +277,28 @@ func (c *Client) readLoop() {
 // resp (which may be nil for fire-and-forget semantics with an
 // acknowledgment).
 func (c *Client) Call(method string, req, resp any) error {
+	err, _ := c.do(method, req, resp, 0)
+	return err
+}
+
+// CallTimeout is Call with a deadline: if the response has not arrived
+// within d the call fails with ErrTimeout (a zero or negative d means no
+// deadline). A late response is discarded by the correlation table.
+func (c *Client) CallTimeout(method string, req, resp any, d time.Duration) error {
+	err, _ := c.do(method, req, resp, d)
+	return err
+}
+
+// do runs one call and additionally reports whether the connection is
+// still trustworthy for reuse: true when the call completed with a
+// server response (even an error response), false on any
+// transport-level failure. The pool uses the flag to decide between
+// parking and discarding the connection.
+func (c *Client) do(method string, req, resp any, d time.Duration) (error, bool) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return ErrClosed
+		return ErrClosed, false
 	}
 	c.nextID++
 	id := c.nextID
@@ -289,7 +308,10 @@ func (c *Client) Call(method string, req, resp any) error {
 
 	body, err := Marshal(req)
 	if err != nil {
-		return err
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err, true
 	}
 	env := &envelope{ID: id, Method: method, Body: body}
 	c.writeMu.Lock()
@@ -299,19 +321,33 @@ func (c *Client) Call(method string, req, resp any) error {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return err
+		return err, false
 	}
-	got, ok := <-ch
-	if !ok {
-		return fmt.Errorf("%w: %v", ErrClosed, c.err())
+
+	var timeout <-chan time.Time
+	if d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeout = timer.C
 	}
-	if got.Err != "" {
-		return errors.New(got.Err)
+	select {
+	case got, ok := <-ch:
+		if !ok {
+			return fmt.Errorf("%w: %v", ErrClosed, c.err()), false
+		}
+		if got.Err != "" {
+			return errors.New(got.Err), true
+		}
+		if resp != nil {
+			return Unmarshal(got.Body, resp), true
+		}
+		return nil, true
+	case <-timeout:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s after %v", ErrTimeout, method, d), false
 	}
-	if resp != nil {
-		return Unmarshal(got.Body, resp)
-	}
-	return nil
 }
 
 func (c *Client) err() error {
