@@ -3,7 +3,7 @@ GO ?= go
 # The targets below are exactly what .github/workflows/ci.yml runs, so a
 # green `make ci` locally means a green CI run.
 
-.PHONY: build vet fmt-check test race race-fabric bench bench-check ci
+.PHONY: build vet fmt-check test race race-fabric fuzz-smoke bench bench-check ci
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,19 @@ race:
 	$(GO) test -race ./internal/relstore/... ./internal/docdb/...
 
 # The live distribution layer under the race detector: the in-process
-# multi-station fabric, the station RPC node and the pooled transport.
+# multi-station fabric (including the 13-station failure/repair run),
+# the station RPC node, the pooled transport, and the subprocess chaos
+# test (SIGKILL + rejoin against real webdocd processes).
 race-fabric:
-	$(GO) test -race ./internal/fabric/... ./internal/cluster/... ./internal/transport/...
+	$(GO) test -race ./internal/fabric/... ./internal/cluster/... ./internal/transport/... ./cmd/webdocd/...
+
+# Ten seconds of coverage-guided fuzzing per target over the committed
+# seed corpora: the minisql parser and the transport frame codec must
+# reject hostile input with errors, never panics.
+fuzz-smoke:
+	$(GO) test ./internal/minisql -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s
+	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 10s
+	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzFrameRoundTrip$$' -fuzztime 10s
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -35,4 +45,4 @@ bench:
 bench-check:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: build vet fmt-check test race race-fabric bench-check
+ci: build vet fmt-check test race race-fabric fuzz-smoke bench-check

@@ -12,6 +12,8 @@
 //	webdocctl -addr 127.0.0.1:7070 broadcast http://mmu/course-001/v1
 //	webdocctl -addr 127.0.0.1:7072 resolve http://mmu/course-001/v1
 //	webdocctl -addr 127.0.0.1:7070 migrate http://mmu/course-001/v1
+//	webdocctl -addr 127.0.0.1:7070 health
+//	webdocctl -addr 127.0.0.1:7070 evict 3
 //
 // "pull URL TARGET" copies a document bundle from the -addr station to
 // the TARGET station (pre-broadcast of a single document by hand). The
@@ -25,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/cluster"
@@ -44,7 +47,7 @@ func main() {
 	// The fabric verbs use the typed administrative client; everything
 	// else speaks the base station protocol.
 	switch args[0] {
-	case "topology", "broadcast", "resolve", "migrate":
+	case "topology", "broadcast", "resolve", "migrate", "health", "evict":
 		runFabric(*addr, args, *refsOnly)
 		return
 	}
@@ -185,6 +188,59 @@ func runFabric(addr string, args []string, refsOnly bool) {
 			}
 			fmt.Printf("  station %-3d -> %s (%d bytes freed)\n", sr.Pos, sr.Form, sr.Freed)
 		}
+	case "health":
+		health, err := admin.Health()
+		if err != nil {
+			fail("health: %v", err)
+		}
+		printHealth(health)
+	case "evict":
+		if len(args) != 2 {
+			usage()
+		}
+		pos, err := strconv.Atoi(args[1])
+		if err != nil {
+			fail("evict: bad position %q", args[1])
+		}
+		health, err := admin.Evict(pos)
+		if err != nil {
+			fail("evict: %v", err)
+		}
+		fmt.Printf("station %d evicted\n", pos)
+		printHealth(health)
+	}
+}
+
+// printHealth renders a liveness view: one line per roster entry with
+// its up/down/suspect state.
+func printHealth(h fabric.HealthReply) {
+	role := "station"
+	if h.IsRoot {
+		role = "root"
+	}
+	fmt.Printf("%s %d of %d, epoch %d, %d down\n", role, h.Pos, h.N, h.Epoch, len(h.Down))
+	down := make(map[int]bool, len(h.Down))
+	for _, pos := range h.Down {
+		down[pos] = true
+	}
+	suspect := make(map[int]bool, len(h.Suspect))
+	for _, pos := range h.Suspect {
+		suspect[pos] = true
+	}
+	positions := make([]int, 0, len(h.Roster))
+	for pos := range h.Roster {
+		positions = append(positions, pos)
+	}
+	sort.Ints(positions)
+	for _, pos := range positions {
+		state := "up"
+		switch {
+		case down[pos]:
+			state = "DOWN"
+		case suspect[pos]:
+			state = "suspect"
+		}
+		fmt.Printf("  station %-3d %-21s %s\n", pos, h.Roster[pos], state)
 	}
 }
 
@@ -235,7 +291,9 @@ commands:
   topology             show the distribution fabric (any joined station)
   broadcast URL        push a course down the m-ary tree (root; -refs for references)
   resolve URL          make the station pull the document up its parent route
-  migrate URL          post-lecture migration back to references (root)`)
+  migrate URL          post-lecture migration back to references (root)
+  health               show per-station liveness (root view is authoritative)
+  evict POS            force-mark a station dead on the root (heartbeats revive it if it still answers)`)
 	os.Exit(2)
 }
 

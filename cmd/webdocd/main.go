@@ -17,6 +17,18 @@
 // position, and serve broadcast/resolve/migrate traffic along the tree.
 // With -seed-course N the daemon authors a synthetic N-page course on
 // startup so a fresh deployment has something to serve.
+//
+// The root heartbeats every joined station (-heartbeat tunes the
+// probe interval; 0 disables) and routes broadcasts and resolves
+// around stations it declares dead. A station that was killed and
+// restarted rejoins with
+//
+//	webdocd -addr 127.0.0.1:7072 -join 127.0.0.1:7070 -rejoin -pos 3
+//
+// asking for its old position back (-pos; same-address restarts get it
+// back automatically) and then catching up on the broadcasts it missed
+// — reference scaffolds first, full bundles via the parent route under
+// the watermark policy.
 package main
 
 import (
@@ -42,17 +54,25 @@ func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
 		httpAddr   = flag.String("http", "", "serve the Web-savvy virtual library UI on this address (empty disables)")
-		pos        = flag.Int("pos", 1, "station position in the linear joining order (standalone mode)")
+		pos        = flag.Int("pos", 1, "station position in the linear joining order (standalone mode; with -rejoin: the position to reclaim)")
 		walPath    = flag.String("wal", "", "write-ahead log path (empty disables persistence)")
 		seedCourse = flag.Int("seed-course", 0, "author a synthetic course with this many pages on startup")
 		root       = flag.Bool("root", false, "act as the distribution fabric root (instructor station, position 1)")
 		joinAddr   = flag.String("join", "", "join the distribution fabric via this root address")
+		rejoin     = flag.Bool("rejoin", false, "with -join: reclaim the previous position (-pos) and catch up on missed broadcasts")
 		degree     = flag.Int("m", 2, "distribution tree degree (root mode)")
 		watermark  = flag.Int("watermark", 1, "watermark frequency: fetches beyond this replicate locally (root mode; negative never replicates)")
+		heartbeat  = flag.Duration("heartbeat", fabric.DefaultHeartbeatInterval, "root mode: probe joined stations this often and declare the unresponsive ones dead (0 disables)")
 	)
 	flag.Parse()
 	if *root && *joinAddr != "" {
 		log.Fatal("webdocd: -root and -join are mutually exclusive")
+	}
+	if *rejoin && *joinAddr == "" {
+		log.Fatal("webdocd: -rejoin requires -join")
+	}
+	if *rejoin && *pos < 2 {
+		log.Fatal("webdocd: -rejoin requires -pos >= 2 (the position to reclaim)")
 	}
 
 	rel := relstore.NewDB()
@@ -113,17 +133,39 @@ func main() {
 		if err != nil {
 			log.Fatalf("webdocd: starting fabric root: %v", err)
 		}
+		if *heartbeat > 0 {
+			if err := st.StartHeartbeat(*heartbeat, 0); err != nil {
+				log.Fatalf("webdocd: starting heartbeat: %v", err)
+			}
+		}
 		bound, stationPos, stop = st.Addr(), st.Pos(), st.Close
 		fmt.Printf("webdocd: station %d serving on %s (fabric root, m=%d, watermark=%d)\n",
 			stationPos, bound, *degree, *watermark)
 	case *joinAddr != "":
-		st, err := fabric.Join(store, *addr, *joinAddr)
+		var st *fabric.Station
+		var err error
+		if *rejoin {
+			st, err = fabric.Rejoin(store, *addr, *joinAddr, *pos)
+		} else {
+			st, err = fabric.Join(store, *addr, *joinAddr)
+		}
 		if err != nil {
 			log.Fatalf("webdocd: joining fabric: %v", err)
 		}
 		// A joiner learns its position from the root, so it can only
 		// seed after the handshake; the banner waits for the seed.
 		seed(store, lib, st.Pos(), *seedCourse)
+		if *rejoin {
+			// Reconcile with whatever was broadcast while this station
+			// was dark, before announcing readiness.
+			res, err := st.CatchUp()
+			if err != nil {
+				log.Printf("webdocd: catch-up incomplete: %v", err)
+			} else {
+				log.Printf("webdocd: caught up: %d reference(s) imported, %d broadcast(s) re-pulled, %d stale instance(s) reclaimed",
+					res.References, len(res.Resolved), res.Migrated)
+			}
+		}
 		bound, stationPos, stop = st.Addr(), st.Pos(), st.Close
 		fmt.Printf("webdocd: station %d serving on %s (joined fabric via %s)\n",
 			stationPos, bound, *joinAddr)

@@ -6,6 +6,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -13,6 +14,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fabric"
+	"repro/internal/netsim"
+	"repro/internal/webtest"
 	"repro/internal/workload"
 )
 
@@ -172,6 +175,217 @@ func TestKillRestartPreservesMedia(t *testing.T) {
 		}
 	}
 	stopDaemon(t, cmd2)
+}
+
+// stationHasPages reports whether the station at addr answers SQL and
+// holds at least one html_files row — the readiness probe for
+// broadcast delivery, polled via webtest instead of slept on.
+func stationHasPages(addr string) bool {
+	rs, err := cluster.DialStation(addr)
+	if err != nil {
+		return false
+	}
+	defer rs.Close()
+	reply, err := rs.SQL("SELECT file_id FROM html_files")
+	return err == nil && len(reply.Rows) > 0
+}
+
+// stationForm returns the doc_objects form the station records for the
+// URL ("" when absent or unreachable).
+func stationForm(t *testing.T, addr, url string) string {
+	t.Helper()
+	rs, err := cluster.DialStation(addr)
+	if err != nil {
+		return ""
+	}
+	defer rs.Close()
+	reply, err := rs.SQL("SELECT form FROM doc_objects WHERE starting_url = '" + url + "'")
+	if err != nil || len(reply.Rows) == 0 || len(reply.Rows[0]) == 0 {
+		return ""
+	}
+	return reply.Rows[0][0]
+}
+
+// healthShows polls the root's health view for an exact down-set.
+func healthShows(admin *fabric.Admin, want ...int) func() bool {
+	return func() bool {
+		h, err := admin.Health()
+		if err != nil || len(h.Down) != len(want) {
+			return false
+		}
+		for i, pos := range want {
+			if h.Down[i] != pos {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// TestChaosKilledStationsMidBroadcastRejoin is the chaos run: a
+// seven-station live fabric loses two non-root daemons to SIGKILL
+// while a broadcast is in flight, repairs the tree around them,
+// restarts them with -rejoin, and converges on the end-state the
+// netsim simulator predicts for the same failure schedule.
+func TestChaosKilledStationsMidBroadcastRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := daemonBinary(t)
+	spec := workload.DefaultSpec(1)
+
+	rootAddr, _ := startDaemon(t, bin,
+		"-addr", "127.0.0.1:0", "-root", "-m", "2", "-watermark", "0",
+		"-seed-course", "3", "-heartbeat", "100ms")
+	// Joins are sequential (the banner appears only after the
+	// handshake), so joiner i holds position i+2.
+	type joiner struct {
+		addr string
+		cmd  *exec.Cmd
+	}
+	joiners := make([]joiner, 6)
+	for i := range joiners {
+		addr, cmd := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-join", rootAddr)
+		joiners[i] = joiner{addr, cmd}
+	}
+	admin := fabric.DialAdmin(rootAddr)
+	defer admin.Close()
+	webtest.Eventually(t, 30*time.Second, "all seven stations in the roster", func() bool {
+		top, err := admin.Topology()
+		return err == nil && top.N == 7
+	})
+
+	// SIGKILL positions 2 and 5 while the broadcast fans out. The
+	// exact interleaving is the chaos under test: whichever hop the
+	// deaths land on, the broadcast must complete and every surviving
+	// station must end up with the course.
+	done := make(chan error, 1)
+	go func() {
+		_, err := admin.Broadcast(spec.URL, false)
+		done <- err
+	}()
+	for _, pos := range []int{2, 5} {
+		if err := joiners[pos-2].cmd.Process.Kill(); err != nil {
+			t.Error(err)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("broadcast during kills: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("broadcast hung across the kills")
+	}
+
+	// Repair: every live station holds the pages; the heartbeat
+	// declares exactly the killed stations dead.
+	for _, pos := range []int{3, 4, 6, 7} {
+		addr := joiners[pos-2].addr
+		webtest.Eventually(t, 30*time.Second,
+			fmt.Sprintf("station %d to hold the broadcast pages", pos),
+			func() bool { return stationHasPages(addr) })
+	}
+	webtest.Eventually(t, 30*time.Second, "root health to declare stations 2 and 5 dead",
+		healthShows(admin, 2, 5))
+
+	// An orphaned station (4, child of dead 2) keeps serving: its
+	// health view answers, and a resolve through the dead parent still
+	// succeeds via the grafted route to the root.
+	st4 := fabric.DialAdmin(joiners[2].addr)
+	h4, err := st4.Health()
+	if err != nil {
+		st4.Close()
+		t.Fatal(err)
+	}
+	if h4.IsRoot {
+		st4.Close()
+		t.Fatalf("station 4 health claims root: %+v", h4)
+	}
+	fetch, err := st4.Fetch(spec.URL)
+	st4.Close()
+	if err != nil {
+		t.Fatalf("orphan resolve across dead parent: %v", err)
+	}
+	if !fetch.Local && fetch.ServedBy == 2 {
+		t.Errorf("orphan resolve served by the dead parent: %+v", fetch)
+	}
+
+	// Rejoin: both victims restart on fresh sockets, reclaim their old
+	// positions, and catch up before announcing readiness.
+	for _, pos := range []int{2, 5} {
+		addr, cmd := startDaemon(t, bin,
+			"-addr", "127.0.0.1:0", "-join", rootAddr, "-rejoin", "-pos", strconv.Itoa(pos))
+		joiners[pos-2] = joiner{addr, cmd}
+	}
+	webtest.Eventually(t, 30*time.Second, "root health to show every station up",
+		healthShows(admin))
+	top, err := admin.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.N != 7 {
+		t.Fatalf("topology after rejoin = %+v", top)
+	}
+	for _, pos := range []int{2, 5} {
+		if top.Roster[pos] != joiners[pos-2].addr {
+			t.Errorf("roster[%d] = %s, want the rejoined address %s", pos, top.Roster[pos], joiners[pos-2].addr)
+		}
+		webtest.Eventually(t, 30*time.Second,
+			fmt.Sprintf("rejoined station %d to finish catch-up", pos),
+			func() bool { return stationHasPages(joiners[pos-2].addr) })
+	}
+
+	// End-state parity: the netsim simulator run with the same failure
+	// schedule (2 and 5 dark through the broadcast, revived, caught
+	// up) predicts the per-station object form; the live fabric must
+	// agree for every student station.
+	sim, err := cluster.New(cluster.Config{
+		Stations:  7,
+		M:         2,
+		UplinkBps: 1.25e6,
+		Latency:   5 * time.Millisecond,
+		Watermark: 0,
+		Mode:      netsim.Sequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSpec := workload.DefaultSpec(1)
+	simSpec.Pages = 3
+	simSpec.MediaScaleDown = 4096
+	if _, _, err := sim.AuthorCourse(simSpec); err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{2, 5} {
+		if err := sim.MarkDown(pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := sim.PreBroadcastResilient(simSpec.URL); err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{2, 5} {
+		if err := sim.MarkUp(pos); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.FetchOnDemandResilient(pos, simSpec.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pos := 2; pos <= 7; pos++ {
+		simSt, err := sim.Station(pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simObj, err := simSt.Store.ObjectByURL(simSpec.URL)
+		if err != nil {
+			t.Fatalf("simulator station %d: %v", pos, err)
+		}
+		if got := stationForm(t, joiners[pos-2].addr, spec.URL); got != simObj.Form {
+			t.Errorf("station %d: form fabric=%q sim=%q", pos, got, simObj.Form)
+		}
+	}
 }
 
 // TestDaemonFabricWalkthrough runs the README's three-station

@@ -50,25 +50,11 @@ func (c *Cluster) Down(pos int) bool { return c.down[pos] }
 
 // liveChildren expands a station's children, replacing failed children
 // by their own (recursively expanded) children — the grafting rule for
-// routing a broadcast around failures.
+// routing a broadcast around failures. The arithmetic lives in
+// mtree.LiveChildren so the live TCP fabric repairs its tree with
+// exactly the rule the simulator models.
 func (c *Cluster) liveChildren(pos int) ([]int, error) {
-	kids, err := mtree.Children(pos, c.cfg.M, c.Size())
-	if err != nil {
-		return nil, err
-	}
-	var out []int
-	for _, kid := range kids {
-		if !c.down[kid] {
-			out = append(out, kid)
-			continue
-		}
-		grafted, err := c.liveChildren(kid)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, grafted...)
-	}
-	return out, nil
+	return mtree.LiveChildren(pos, c.cfg.M, c.Size(), func(p int) bool { return c.down[p] })
 }
 
 // PreBroadcastChunked pushes the lecture bundle down the m-ary tree cut
@@ -179,16 +165,14 @@ func (c *Cluster) PreBroadcastResilient(url string) ([]time.Duration, int64, err
 }
 
 // holderOnLivePath is holderOnPath restricted to live stations: the
-// on-demand pull walks the ancestor route, skipping failed holders.
+// on-demand pull walks the ancestor route, skipping failed holders —
+// mtree.LiveAncestors, the same rule the live fabric's Resolve uses.
 func (c *Cluster) holderOnLivePath(pos int, url string) (*Station, error) {
-	path, err := mtree.AncestorPath(pos, c.cfg.M)
+	live, err := mtree.LiveAncestors(pos, c.cfg.M, func(p int) bool { return c.down[p] })
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range path {
-		if c.down[p] {
-			continue
-		}
+	for _, p := range append([]int{pos}, live...) {
 		st := c.stations[p-1]
 		obj, err := st.Store.ObjectByURL(url)
 		if err != nil {

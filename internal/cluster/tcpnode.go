@@ -18,6 +18,7 @@ type Node struct {
 	Store *docdb.Store
 	srv   *transport.Server
 	sql   *minisql.Session
+	check atomic.Value // func() error, see SetLivenessCheck
 }
 
 // PingReply describes a station to administrative clients.
@@ -84,6 +85,26 @@ func (n *Node) SetPos(pos int) { n.pos.Store(int64(pos)) }
 // join/broadcast/resolve protocol beside the base station methods.
 // Like transport.Server.Handle it must be called before Start.
 func (n *Node) Handle(method string, h transport.Handler) { n.srv.Handle(method, h) }
+
+// SetLivenessCheck installs a health predicate consulted by liveness
+// probes — the fabric's heartbeat handler reports the check's error to
+// the root, which treats an unhealthy station like an unreachable one
+// (its subtree is grafted onto live ancestors until the check clears).
+// A nil check (the default) means the station is healthy whenever it
+// answers at all. Safe to call while the node is serving.
+func (n *Node) SetLivenessCheck(check func() error) {
+	n.check.Store(&check)
+}
+
+// LivenessCheck runs the installed health predicate, reporting nil
+// when none is installed.
+func (n *Node) LivenessCheck() error {
+	p, _ := n.check.Load().(*func() error)
+	if p == nil || *p == nil {
+		return nil
+	}
+	return (*p)()
+}
 
 // Start begins serving on the address and returns the bound address.
 func (n *Node) Start(addr string) (string, error) {

@@ -104,3 +104,22 @@ func (a *Admin) EndLecture(url string) (MigrateReply, error) {
 	err := a.pool.Call(methodEndLecture, EndLectureRequest{URL: url}, &reply)
 	return reply, err
 }
+
+// Health fetches the station's liveness view of the fabric (the
+// root's view is authoritative).
+func (a *Admin) Health() (HealthReply, error) {
+	var reply HealthReply
+	err := a.pool.Call(methodHealth, struct{}{}, &reply)
+	return reply, err
+}
+
+// Evict force-marks a station dead on the root, returning the
+// resulting health view. Probes remain ground truth: a station that
+// still answers heartbeats is revived on the root's next sweep, so
+// eviction is for stations the prober has not caught up with, not for
+// banishing healthy ones.
+func (a *Admin) Evict(pos int) (HealthReply, error) {
+	var reply HealthReply
+	err := a.pool.Call(methodEvict, EvictRequest{Pos: pos}, &reply)
+	return reply, err
+}

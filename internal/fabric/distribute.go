@@ -3,24 +3,25 @@ package fabric
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/docdb"
-	"repro/internal/mtree"
 	"repro/internal/schema"
 )
 
 // PushRequest carries one broadcast hop: the bundle, the install
-// policy and the topology snapshot the receiving station fans out
-// under. RefOnly bundles hold just the script and implementation rows
-// (the metadata closure of a document reference).
+// policy and the epoch-numbered topology snapshot (roster plus the
+// root's down-set) the receiving station fans out under. RefOnly
+// bundles hold just the script and implementation rows (the metadata
+// closure of a document reference).
 type PushRequest struct {
 	Bundle    docdb.Bundle
 	RefOnly   bool
 	M         int
 	N         int
 	Watermark int
+	Epoch     int
 	Roster    map[int]string
+	Down      map[int]bool
 }
 
 // StationResult reports the outcome of a broadcast or migration on one
@@ -63,7 +64,9 @@ type MigrateRequest struct {
 	M         int
 	N         int
 	Watermark int
+	Epoch     int
 	Roster    map[int]string
+	Down      map[int]bool
 }
 
 // MigrateReply aggregates a subtree's migration outcome.
@@ -88,8 +91,9 @@ type FetchResult struct {
 // children. With refOnly the stations install document references (the
 // paper's broadcast-of-references when an instance is created);
 // otherwise they import full instances (pre-broadcast before a
-// lecture). Unreachable subtrees are reported per station in the
-// result, not as a call failure.
+// lecture). Dead hops are routed around — their children graft onto
+// the nearest live ancestor — and unreachable stations are reported
+// per station in the result, not as a call failure.
 func (s *Station) Broadcast(url string, refOnly bool) (*BroadcastResult, error) {
 	if !s.isRoot {
 		return nil, fmt.Errorf("%w: broadcast", ErrNotRoot)
@@ -112,34 +116,19 @@ func (s *Station) Broadcast(url string, refOnly bool) (*BroadcastResult, error) 
 			return nil, err
 		}
 	}
-	pos, m, n, wm, roster := s.snapshot()
-	req := PushRequest{Bundle: *bundle, RefOnly: refOnly, M: m, N: n, Watermark: wm, Roster: roster}
-	results, err := s.fanOut(pos, req)
-	if err != nil {
-		return nil, err
+	v := s.view()
+	req := PushRequest{
+		Bundle: *bundle, RefOnly: refOnly,
+		M: v.m, N: v.n, Watermark: v.watermark,
+		Epoch: v.epoch, Roster: v.roster, Down: v.down,
 	}
+	// The catalog entry lands before the fan-out: a station rejoining
+	// while this broadcast is still in flight must see the document in
+	// its catch-up catalog — the root holds the bundle either way.
+	s.recordBroadcast(url, refOnly)
+	results := s.fanOut(v.pos, req)
 	sortResults(results)
 	return &BroadcastResult{URL: url, RefOnly: refOnly, Bytes: bundle.TotalBytes(), Stations: results}, nil
-}
-
-// fanOut relays a push to every child of pos in parallel and collects
-// the subtree results. A child that cannot be reached is reported with
-// its error; its subtree is necessarily unreached.
-func (s *Station) fanOut(pos int, req PushRequest) ([]StationResult, error) {
-	var mu sync.Mutex
-	var results []StationResult
-	err := eachChild(pos, req.M, req.N, req.Roster, func(kid int, addr string) {
-		var reply PushReply
-		err := s.pool(addr).Call(methodPush, req, &reply)
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil {
-			results = append(results, StationResult{Pos: kid, Err: err.Error()})
-			return
-		}
-		results = append(results, reply.Results...)
-	})
-	return results, err
 }
 
 // handlePush installs the pushed document locally (store), then
@@ -151,7 +140,7 @@ func (s *Station) handlePush(decode func(any) error) (any, error) {
 		return nil, err
 	}
 	s.mu.Lock()
-	s.applyTopology(req.M, req.N, req.Watermark, req.Roster)
+	s.applyTopology(req.M, req.N, req.Watermark, req.Epoch, req.Roster, req.Down)
 	pos := s.pos
 	s.mu.Unlock()
 	if pos == 0 {
@@ -175,21 +164,18 @@ func (s *Station) handlePush(decode func(any) error) (any, error) {
 		}
 	}
 	s.importMu.Unlock()
-	sub, err := s.fanOut(pos, req)
-	if err != nil {
-		return nil, err
-	}
+	sub := s.fanOut(pos, req)
 	return PushReply{Results: append([]StationResult{res}, sub...)}, nil
 }
 
 // Resolve retrieves a document for this station: served locally when
 // an instance is resident, otherwise pulled via the parent route (each
-// ancestor serves from a local instance or relays upward). Crossing
-// the watermark frequency imports the bundle, materializing local
-// BLOBs.
+// ancestor serves from a local instance or relays upward), skipping
+// dead ancestors on the way. Crossing the watermark frequency imports
+// the bundle, materializing local BLOBs.
 func (s *Station) Resolve(url string) (FetchResult, error) {
 	s.mu.Lock()
-	pos, m, n := s.pos, s.m, s.n
+	pos, n := s.pos, s.n
 	wm := s.watermark
 	s.mu.Unlock()
 	if pos == 0 {
@@ -201,7 +187,7 @@ func (s *Station) Resolve(url string) (FetchResult, error) {
 	if pos == 1 {
 		return FetchResult{}, fmt.Errorf("%w: %s", ErrNoInstance, url)
 	}
-	reply, err := s.resolveViaParent(url, pos, m, n+1)
+	reply, err := s.resolveViaAncestors(url, n+1)
 	if err != nil {
 		return FetchResult{}, err
 	}
@@ -227,27 +213,8 @@ func (s *Station) Resolve(url string) (FetchResult, error) {
 	return res, nil
 }
 
-// resolveViaParent asks this station's parent to resolve the URL.
-func (s *Station) resolveViaParent(url string, pos, m, ttl int) (*ResolveReply, error) {
-	parent, err := mtree.Parent(pos, m)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	addr, ok := s.roster[parent]
-	s.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("fabric: no address for parent station %d", parent)
-	}
-	var reply ResolveReply
-	if err := s.pool(addr).Call(methodResolve, ResolveRequest{URL: url, TTL: ttl}, &reply); err != nil {
-		return nil, err
-	}
-	return &reply, nil
-}
-
 // handleResolve serves a bundle from a local instance or relays the
-// request one hop further up the parent route.
+// request further up the parent route, skipping dead ancestors.
 func (s *Station) handleResolve(decode func(any) error) (any, error) {
 	var req ResolveRequest
 	if err := decode(&req); err != nil {
@@ -257,7 +224,7 @@ func (s *Station) handleResolve(decode func(any) error) (any, error) {
 		return nil, ErrRouteLoop
 	}
 	s.mu.Lock()
-	pos, m := s.pos, s.m
+	pos := s.pos
 	s.mu.Unlock()
 	if pos == 0 {
 		return nil, ErrNotJoined
@@ -272,7 +239,7 @@ func (s *Station) handleResolve(decode func(any) error) (any, error) {
 	if pos == 1 {
 		return nil, fmt.Errorf("%w: %s", ErrNoInstance, req.URL)
 	}
-	reply, err := s.resolveViaParent(req.URL, pos, m, req.TTL-1)
+	reply, err := s.resolveViaAncestors(req.URL, req.TTL-1)
 	if err != nil {
 		return nil, err
 	}
@@ -282,14 +249,23 @@ func (s *Station) handleResolve(decode func(any) error) (any, error) {
 // EndLecture migrates every non-persistent instance of the document in
 // the tree back to a reference, reclaiming the buffer space — "after a
 // lecture is presented, duplicated document instances migrate to
-// document references."
+// document references." Dead stations are routed around; their copies
+// are reconciled at rejoin, when catch-up rebuilds the document as a
+// reference.
 func (s *Station) EndLecture(url string) (*MigrateReply, error) {
 	if !s.isRoot {
 		return nil, fmt.Errorf("%w: end-lecture migration", ErrNotRoot)
 	}
-	pos, m, n, wm, roster := s.snapshot()
-	req := MigrateRequest{URL: url, M: m, N: n, Watermark: wm, Roster: roster}
-	reply := s.migrateSubtree(pos, req, s.migrateLocal(url, pos))
+	v := s.view()
+	req := MigrateRequest{
+		URL: url, M: v.m, N: v.n, Watermark: v.watermark,
+		Epoch: v.epoch, Roster: v.roster, Down: v.down,
+	}
+	// Flip the catalog before the fan-out, as in Broadcast: a rejoin
+	// racing this migration should rebuild a reference, which is where
+	// the whole tree is headed anyway.
+	s.markMigrated(url)
+	reply := s.migrateSubtree(v.pos, req, s.migrateLocal(url, v.pos))
 	sortResults(reply.Stations)
 	return &reply, nil
 }
@@ -315,29 +291,14 @@ func (s *Station) migrateLocal(url string, pos int) *StationResult {
 	return &res
 }
 
-// migrateSubtree fans the migration out to the children of pos and
-// folds the local result (if any) into the aggregate.
+// migrateSubtree fans the migration out to the children of pos
+// (routing around dead hops) and folds the local result (if any) into
+// the aggregate.
 func (s *Station) migrateSubtree(pos int, req MigrateRequest, local *StationResult) MigrateReply {
-	var out MigrateReply
+	out := s.migrateFanOut(pos, req)
 	if local != nil {
 		out.Stations = append(out.Stations, *local)
 		out.Freed += local.Freed
-	}
-	var mu sync.Mutex
-	err := eachChild(pos, req.M, req.N, req.Roster, func(kid int, addr string) {
-		var reply MigrateReply
-		err := s.pool(addr).Call(methodMigrate, req, &reply)
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil {
-			out.Stations = append(out.Stations, StationResult{Pos: kid, Err: err.Error()})
-			return
-		}
-		out.Freed += reply.Freed
-		out.Stations = append(out.Stations, reply.Stations...)
-	})
-	if err != nil {
-		out.Stations = append(out.Stations, StationResult{Pos: pos, Err: err.Error()})
 	}
 	return out
 }
@@ -349,7 +310,7 @@ func (s *Station) handleMigrate(decode func(any) error) (any, error) {
 		return nil, err
 	}
 	s.mu.Lock()
-	s.applyTopology(req.M, req.N, req.Watermark, req.Roster)
+	s.applyTopology(req.M, req.N, req.Watermark, req.Epoch, req.Roster, req.Down)
 	pos := s.pos
 	s.mu.Unlock()
 	if pos == 0 {

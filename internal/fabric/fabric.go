@@ -28,6 +28,41 @@
 //
 // Stations keep serving the base station RPCs (Ping, Bundle, Import,
 // SQL) — the fabric methods ride on the same cluster.Node server.
+//
+// # Failure handling
+//
+// A deployed fabric loses stations mid-semester, so every layer routes
+// around them with the same grafting arithmetic the netsim simulator
+// models (internal/mtree's live-tree helpers):
+//
+//   - Failure detection: the root heartbeats every joined station
+//     (StartHeartbeat); a station that misses consecutive probes — or
+//     whose cluster.Node liveness check reports unhealthy — is marked
+//     down. Rosters are epoch-numbered: the root bumps the epoch on
+//     every membership or liveness change and pushes the roster plus
+//     its down-set on every tree RPC, so stations converge on the
+//     newest view without a separate gossip channel. Relays that fail
+//     to reach a peer mid-operation report it to the root
+//     (Fabric.ReportDown), which confirms with one probe before
+//     declaring it dead; operators can force the matter with
+//     webdocctl evict.
+//
+//   - Tree repair: a broadcast or migration reaching a dead child
+//     retries once (store-and-forward retry), then grafts the dead
+//     station's children onto the sender — the subtree is served
+//     directly, and the dead hop is reported per station in the
+//     result instead of stalling the fan-out.
+//
+//   - Resolve: the parent route skips dead ancestors — the request
+//     goes to the nearest live ancestor (falling back to suspected
+//     ones as a last resort), so one dead interior station cannot cut
+//     its descendants off from the instructor's copy.
+//
+//   - Rejoin: a restarted webdocd re-contacts the root (Rejoin) and is
+//     re-assigned its old position — or a fresh one — then catches up
+//     (CatchUp): the root's broadcast catalog tells it what it
+//     missed; it installs reference scaffolds and re-pulls full
+//     broadcasts up the parent route under the watermark policy.
 package fabric
 
 import (
@@ -39,7 +74,6 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/docdb"
-	"repro/internal/mtree"
 	"repro/internal/transport"
 )
 
@@ -50,15 +84,27 @@ var (
 	ErrNoInstance = errors.New("fabric: no station on the parent route holds an instance")
 	ErrBadDegree  = errors.New("fabric: tree degree must be >= 1")
 	ErrRouteLoop  = errors.New("fabric: resolve exceeded the route length")
+	ErrNoRoute    = errors.New("fabric: no live ancestor reachable")
 )
 
-// Tuning knobs for the per-peer connection pools and the join
-// handshake.
+// Tuning knobs for the per-peer connection pools, the join handshake
+// and the failure-handling machinery.
 const (
 	peerPoolSize = 4
 	callTimeout  = 2 * time.Minute
-	joinAttempts = 10
+	joinAttempts = 20
 	joinBackoff  = 150 * time.Millisecond
+
+	// pushAttempts and pushRetryDelay are the store-and-forward retry
+	// a relay gives an unreachable child before grafting its subtree.
+	pushAttempts   = 2
+	pushRetryDelay = 25 * time.Millisecond
+
+	// hbFailThreshold consecutive failed probes declare a station
+	// dead; DefaultHeartbeatInterval/Timeout are the daemon defaults.
+	hbFailThreshold          = 2
+	DefaultHeartbeatInterval = 2 * time.Second
+	DefaultHeartbeatTimeout  = 1500 * time.Millisecond
 )
 
 // RPC method names. They live beside the base station methods on the
@@ -72,21 +118,34 @@ const (
 	methodBroadcast  = "Fabric.Broadcast"
 	methodFetch      = "Fabric.Fetch"
 	methodEndLecture = "Fabric.EndLecture"
+	methodHeartbeat  = "Fabric.Heartbeat"
+	methodHealth     = "Fabric.Health"
+	methodEvict      = "Fabric.Evict"
+	methodReportDown = "Fabric.ReportDown"
+	methodCatalog    = "Fabric.Catalog"
+	methodRefs       = "Fabric.Refs"
 )
 
 // JoinRequest announces a new station's listen address to the root.
+// A rejoining station sets Rejoin and its previous position so the
+// root can graft it back into the tree where it used to sit.
 type JoinRequest struct {
-	Addr string
+	Addr   string
+	OldPos int
+	Rejoin bool
 }
 
 // JoinReply assigns the joiner its linear position and hands it the
-// policy and the roster it derives its parent route from.
+// policy and the epoch-numbered roster it derives its parent route
+// from.
 type JoinReply struct {
 	Pos       int
 	M         int
 	N         int
 	Watermark int
+	Epoch     int
 	Roster    map[int]string
+	Down      map[int]bool
 }
 
 // TopologyReply describes a station's view of the fabric.
@@ -95,8 +154,10 @@ type TopologyReply struct {
 	M         int
 	N         int
 	Watermark int
+	Epoch     int
 	IsRoot    bool
 	Roster    map[int]string
+	Down      map[int]bool
 }
 
 // Station is one live fabric member: a cluster.Node (the base station
@@ -114,9 +175,18 @@ type Station struct {
 	m         int
 	n         int
 	watermark int
+	epoch     int
 	roster    map[int]string
+	down      map[int]bool // root-declared failures (epoch-stamped)
+	suspect   map[int]bool // locally observed failures, pending root confirmation
 	fetches   map[string]int
 	pools     map[string]*transport.Pool
+	hbPools   map[string]*transport.Pool // size-1 probe pools, isolated from bundle traffic
+	catalog   []CatalogEntry             // root only: every broadcast, for rejoin catch-up
+
+	// heartbeat state (root only).
+	hbStop  chan struct{}
+	hbFails map[int]int
 
 	// importMu serializes bundle installs on this station: a broadcast
 	// push racing an on-demand materialization of the same URL would
@@ -132,8 +202,12 @@ func newStation(store *docdb.Store, isRoot bool, m, watermark int) *Station {
 		m:         m,
 		watermark: watermark,
 		roster:    make(map[int]string),
+		down:      make(map[int]bool),
+		suspect:   make(map[int]bool),
 		fetches:   make(map[string]int),
 		pools:     make(map[string]*transport.Pool),
+		hbPools:   make(map[string]*transport.Pool),
+		hbFails:   make(map[int]int),
 	}
 	s.node = cluster.NewNode(0, store)
 	s.node.Handle(methodJoin, s.handleJoin)
@@ -144,6 +218,12 @@ func newStation(store *docdb.Store, isRoot bool, m, watermark int) *Station {
 	s.node.Handle(methodBroadcast, s.handleBroadcast)
 	s.node.Handle(methodFetch, s.handleFetch)
 	s.node.Handle(methodEndLecture, s.handleEndLecture)
+	s.node.Handle(methodHeartbeat, s.handleHeartbeat)
+	s.node.Handle(methodHealth, s.handleHealth)
+	s.node.Handle(methodEvict, s.handleEvict)
+	s.node.Handle(methodReportDown, s.handleReportDown)
+	s.node.Handle(methodCatalog, s.handleCatalog)
+	s.node.Handle(methodRefs, s.handleRefs)
 	return s
 }
 
@@ -161,6 +241,7 @@ func NewRoot(store *docdb.Store, addr string, m, watermark int) (*Station, error
 	s.mu.Lock()
 	s.pos = 1
 	s.n = 1
+	s.epoch = 1
 	s.mu.Unlock()
 	s.node.SetPos(1)
 	bound, err := s.node.Start(addr)
@@ -181,6 +262,20 @@ func NewRoot(store *docdb.Store, addr string, m, watermark int) (*Station, error
 // backoff, so joiners may start concurrently with (or slightly before)
 // their root.
 func Join(store *docdb.Store, addr, rootAddr string) (*Station, error) {
+	return join(store, addr, rootAddr, 0)
+}
+
+// Rejoin is Join for a restarted station: it asks the root for its
+// previous position back. The root grants it when that position is
+// marked down — or, for a restart that beat the failure detector, when
+// a confirmation probe of the position's old address fails — and
+// assigns a fresh position otherwise. The caller follows up with
+// CatchUp to pull whatever was broadcast while the station was dark.
+func Rejoin(store *docdb.Store, addr, rootAddr string, oldPos int) (*Station, error) {
+	return join(store, addr, rootAddr, oldPos)
+}
+
+func join(store *docdb.Store, addr, rootAddr string, oldPos int) (*Station, error) {
 	s := newStation(store, false, 0, 0)
 	bound, err := s.node.Start(addr)
 	if err != nil {
@@ -189,9 +284,10 @@ func Join(store *docdb.Store, addr, rootAddr string) (*Station, error) {
 	s.mu.Lock()
 	s.addr = bound
 	s.mu.Unlock()
+	req := JoinRequest{Addr: bound, OldPos: oldPos, Rejoin: oldPos > 0}
 	var reply JoinReply
 	for attempt := 0; ; attempt++ {
-		err = s.pool(rootAddr).Call(methodJoin, JoinRequest{Addr: bound}, &reply)
+		err = s.pool(rootAddr).Call(methodJoin, req, &reply)
 		if err == nil {
 			break
 		}
@@ -202,7 +298,7 @@ func Join(store *docdb.Store, addr, rootAddr string) (*Station, error) {
 		time.Sleep(joinBackoff)
 	}
 	s.mu.Lock()
-	s.applyTopology(reply.M, reply.N, reply.Watermark, reply.Roster)
+	s.applyTopology(reply.M, reply.N, reply.Watermark, reply.Epoch, reply.Roster, reply.Down)
 	s.mu.Unlock()
 	return s, nil
 }
@@ -236,15 +332,22 @@ func (s *Station) Fetches(url string) int {
 	return s.fetches[url]
 }
 
-// Close stops serving and releases every peer connection.
+// Close stops serving, halts the heartbeat loop and releases every
+// peer connection.
 func (s *Station) Close() error {
+	s.StopHeartbeat()
 	err := s.node.Close()
 	s.mu.Lock()
 	s.closed = true
 	pools := s.pools
 	s.pools = make(map[string]*transport.Pool)
+	hbPools := s.hbPools
+	s.hbPools = make(map[string]*transport.Pool)
 	s.mu.Unlock()
 	for _, p := range pools {
+		p.Close()
+	}
+	for _, p := range hbPools {
 		p.Close()
 	}
 	return err
@@ -269,24 +372,91 @@ func (s *Station) pool(addr string) *transport.Pool {
 	return p
 }
 
+// hbPool returns the liveness-probe pool for a peer address: a single
+// connection apart from the bundle-transfer pool, so probes never
+// queue behind multi-minute transfers — a fabric under broadcast load
+// must not lose its failure detector.
+func (s *Station) hbPool(addr string) *transport.Pool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.hbPools[addr]
+	if !ok {
+		p = transport.NewPool(addr, 1, DefaultHeartbeatTimeout)
+		if s.closed {
+			p.Close()
+			return p
+		}
+		s.hbPools[addr] = p
+	}
+	return p
+}
+
+// pruneStalePoolsLocked drops the pools of addresses that left the
+// roster (mu held). Rejoins put restarted stations on fresh sockets,
+// so without pruning a long-lived fabric leaks one pool per crash.
+// The closes run off-thread: a pool close touches sockets, and the
+// caller holds the station lock.
+func (s *Station) pruneStalePoolsLocked() {
+	live := make(map[string]bool, len(s.roster))
+	for _, addr := range s.roster {
+		live[addr] = true
+	}
+	var stale []*transport.Pool
+	for addr, p := range s.pools {
+		if !live[addr] {
+			stale = append(stale, p)
+			delete(s.pools, addr)
+		}
+	}
+	for addr, p := range s.hbPools {
+		if !live[addr] {
+			stale = append(stale, p)
+			delete(s.hbPools, addr)
+		}
+	}
+	if len(stale) > 0 {
+		go func() {
+			for _, p := range stale {
+				p.Close()
+			}
+		}()
+	}
+}
+
 // applyTopology folds a roster snapshot and the root's policy into the
-// station's state (mu held). Snapshots originate at the root, so a
-// larger station count means a newer view; the station derives its own
+// station's state (mu held). Snapshots originate at the root and are
+// epoch-numbered — the root bumps the epoch on every membership or
+// liveness change, so a higher epoch always wins and stale snapshots
+// riding on slow RPCs are ignored. The station derives its own
 // position by finding its address, which also covers the race where a
 // broadcast reaches a joiner before its JoinReply does — carrying the
 // watermark here means that station also runs the configured
-// replication policy, not the zero value.
-func (s *Station) applyTopology(m, n, watermark int, roster map[int]string) {
-	if n < s.n || len(roster) == 0 {
+// replication policy, not the zero value. Applying a snapshot also
+// clears local suspicions — the root has spoken: a same-epoch snapshot
+// means the root refuted (or never heard) the suspicion, a newer one
+// supersedes it either way — so a transiently unreachable peer is
+// retried on the next tree operation instead of being shunned forever.
+func (s *Station) applyTopology(m, n, watermark, epoch int, roster map[int]string, down map[int]bool) {
+	if epoch < s.epoch || len(roster) == 0 {
+		return
+	}
+	if epoch == s.epoch {
+		s.suspect = make(map[int]bool)
 		return
 	}
 	s.m = m
 	s.n = n
 	s.watermark = watermark
+	s.epoch = epoch
 	s.roster = make(map[int]string, len(roster))
 	for pos, addr := range roster {
 		s.roster[pos] = addr
 	}
+	s.down = make(map[int]bool, len(down))
+	for pos := range down {
+		s.down[pos] = true
+	}
+	s.suspect = make(map[int]bool)
 	for pos, addr := range roster {
 		if addr == s.addr {
 			s.pos = pos
@@ -294,24 +464,56 @@ func (s *Station) applyTopology(m, n, watermark int, roster map[int]string) {
 			break
 		}
 	}
+	s.pruneStalePoolsLocked()
 }
 
-// snapshot returns the station's topology view (position, degree,
-// size, watermark, roster copy) for use outside the lock.
-func (s *Station) snapshot() (pos, m, n, watermark int, roster map[int]string) {
+// view is a consistent copy of the station's topology state for use
+// outside the lock.
+type view struct {
+	pos, m, n, watermark, epoch int
+
+	isRoot  bool
+	addr    string
+	roster  map[int]string
+	down    map[int]bool
+	suspect map[int]bool
+}
+
+// dead reports whether a position is either root-declared down or
+// locally suspected.
+func (v view) dead(pos int) bool { return v.down[pos] || v.suspect[pos] }
+
+func (s *Station) view() view {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	roster = make(map[int]string, len(s.roster))
-	for p, a := range s.roster {
-		roster[p] = a
+	v := view{
+		pos: s.pos, m: s.m, n: s.n, watermark: s.watermark, epoch: s.epoch,
+		isRoot:  s.isRoot,
+		addr:    s.addr,
+		roster:  make(map[int]string, len(s.roster)),
+		down:    make(map[int]bool, len(s.down)),
+		suspect: make(map[int]bool, len(s.suspect)),
 	}
-	return s.pos, s.m, s.n, s.watermark, roster
+	for p, a := range s.roster {
+		v.roster[p] = a
+	}
+	for p := range s.down {
+		v.down[p] = true
+	}
+	for p := range s.suspect {
+		v.suspect[p] = true
+	}
+	return v
 }
 
 // handleJoin assigns the next linear position. Only the root holds the
 // authoritative roster. Joining is idempotent per address: a joiner
 // whose reply was lost retries and gets its original position back
-// instead of a duplicate roster entry.
+// instead of a duplicate roster entry. A rejoin request takes its old
+// position back (with the new address) when that position is marked
+// down — or, if the failure detector has not caught up with the crash
+// yet, when a confirmation probe of the old address fails; anything
+// else falls through to a fresh assignment.
 func (s *Station) handleJoin(decode func(any) error) (any, error) {
 	var req JoinRequest
 	if err := decode(&req); err != nil {
@@ -322,6 +524,25 @@ func (s *Station) handleJoin(decode func(any) error) (any, error) {
 	}
 	if req.Addr == "" {
 		return nil, errors.New("fabric: join without a listen address")
+	}
+	// A supervisor restart can beat the failure detector to the punch:
+	// the rejoiner asks for a position the root still believes is
+	// alive. Confirm with a probe (outside the lock) before handing
+	// the position over.
+	takeoverAddr := ""
+	if req.Rejoin && req.OldPos >= 2 {
+		s.mu.Lock()
+		oldAddr, held := s.roster[req.OldPos]
+		down := s.down[req.OldPos]
+		s.mu.Unlock()
+		if held && oldAddr != req.Addr {
+			// probeDirect, not the pooled probe: a takeover decided on
+			// a breaker-cached failure could hand the position to the
+			// rejoiner while the old process still serves it.
+			if down || s.probeDirect(req.OldPos, oldAddr, DefaultHeartbeatTimeout) != nil {
+				takeoverAddr = oldAddr
+			}
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -335,16 +556,42 @@ func (s *Station) handleJoin(decode func(any) error) (any, error) {
 			break
 		}
 	}
+	changed := false
+	// The probed address must still hold the position: a concurrent
+	// rejoiner may have claimed it while the lock was released.
+	if pos == 0 && takeoverAddr != "" && s.roster[req.OldPos] == takeoverAddr {
+		pos = req.OldPos
+		s.roster[pos] = req.Addr
+		changed = true
+	}
 	if pos == 0 {
 		s.n++
 		pos = s.n
 		s.roster[pos] = req.Addr
+		changed = true
+	}
+	if s.down[pos] || s.suspect[pos] {
+		delete(s.down, pos)
+		delete(s.suspect, pos)
+		s.hbFails[pos] = 0
+		changed = true
+	}
+	if changed {
+		s.epoch++
+		s.pruneStalePoolsLocked()
 	}
 	roster := make(map[int]string, len(s.roster))
 	for p, a := range s.roster {
 		roster[p] = a
 	}
-	return JoinReply{Pos: pos, M: s.m, N: s.n, Watermark: s.watermark, Roster: roster}, nil
+	down := make(map[int]bool, len(s.down))
+	for p := range s.down {
+		down[p] = true
+	}
+	return JoinReply{
+		Pos: pos, M: s.m, N: s.n, Watermark: s.watermark,
+		Epoch: s.epoch, Roster: roster, Down: down,
+	}, nil
 }
 
 // handleTopology reports the station's current view of the fabric.
@@ -353,29 +600,11 @@ func (s *Station) handleTopology(decode func(any) error) (any, error) {
 	if err := decode(&req); err != nil {
 		return nil, err
 	}
-	pos, m, n, wm, roster := s.snapshot()
-	return TopologyReply{Pos: pos, M: m, N: n, Watermark: wm, IsRoot: s.isRoot, Roster: roster}, nil
-}
-
-// eachChild runs fn concurrently for every existing child of pos under
-// the request's topology snapshot — the parallel fan-out of one
-// broadcast hop.
-func eachChild(pos, m, n int, roster map[int]string, fn func(kid int, addr string)) error {
-	kids, err := mtree.Children(pos, m, n)
-	if err != nil {
-		return err
-	}
-	var wg sync.WaitGroup
-	for _, kid := range kids {
-		kid := kid
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			fn(kid, roster[kid])
-		}()
-	}
-	wg.Wait()
-	return nil
+	v := s.view()
+	return TopologyReply{
+		Pos: v.pos, M: v.m, N: v.n, Watermark: v.watermark,
+		Epoch: v.epoch, IsRoot: v.isRoot, Roster: v.roster, Down: v.down,
+	}, nil
 }
 
 // sortResults orders per-station results by linear position.

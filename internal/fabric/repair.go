@@ -1,0 +1,361 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/docdb"
+	"repro/internal/mtree"
+	"repro/internal/schema"
+	"repro/internal/transport"
+)
+
+// Tree repair. A broadcast or migration hop that cannot reach a child
+// retries once (store-and-forward retry), then grafts the dead child's
+// children onto itself — the same rule mtree.LiveChildren expresses
+// and the netsim simulator models — so a dead interior station costs
+// its own copy, never its subtree's. Resolve applies the dual rule:
+// the parent route skips dead ancestors (mtree.LiveAncestors) and
+// falls back to suspects only when nothing else answers.
+
+// CatalogEntry is one broadcast the root remembers for rejoin
+// catch-up: the document URL and whether the tree currently holds it
+// as references (a reference broadcast, or a full one that has since
+// migrated) or as full instances.
+type CatalogEntry struct {
+	URL     string
+	RefOnly bool
+}
+
+// CatalogReply lists the root's broadcast history, most recent form
+// per URL.
+type CatalogReply struct {
+	Entries []CatalogEntry
+}
+
+// RefsRequest asks a station for a document's metadata closure (script
+// and implementation rows only) — the payload of a reference import.
+type RefsRequest struct {
+	URL string
+}
+
+// RefsReply carries the metadata closure.
+type RefsReply struct {
+	Bundle docdb.Bundle
+}
+
+// CatchUpResult summarizes a rejoin catch-up.
+type CatchUpResult struct {
+	// References counts the reference scaffolds installed for
+	// documents the station had never seen.
+	References int
+	// Migrated counts stale local instances (restored from the WAL
+	// across a crash) reclaimed because the tree migrated the document
+	// while this station was dark.
+	Migrated int
+	// Resolved holds the per-document outcome of re-pulling missed
+	// full broadcasts up the parent route under the watermark policy.
+	Resolved []FetchResult
+}
+
+// recordBroadcast notes a tree-wide broadcast in the root's catalog so
+// rejoining stations can catch up on it. The latest form per URL wins:
+// a full broadcast that later migrated is remembered as references.
+func (s *Station) recordBroadcast(url string, refOnly bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.catalog {
+		if s.catalog[i].URL == url {
+			s.catalog[i].RefOnly = refOnly
+			return
+		}
+	}
+	s.catalog = append(s.catalog, CatalogEntry{URL: url, RefOnly: refOnly})
+}
+
+// markMigrated flips an existing catalog entry to reference form after
+// an end-of-lecture migration; a rejoiner should rebuild the reference,
+// not re-materialize a reclaimed instance.
+func (s *Station) markMigrated(url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.catalog {
+		if s.catalog[i].URL == url {
+			s.catalog[i].RefOnly = true
+			return
+		}
+	}
+}
+
+// fanOutTree delivers one tree operation (push or migrate) to every
+// child of pos in parallel and collects the subtree results, routing
+// around dead hops: a known-down child is skipped outright, an
+// unreachable one gets the store-and-forward retry, and either way the
+// dead station's children are served directly by this station via a
+// recursive fan-out from the dead position (grafting). The dead hop
+// itself is reported per station in the result, never as a call
+// failure. send delivers to one child address and returns that
+// subtree's per-station results plus its freed-byte total (zero for
+// pushes).
+func (s *Station) fanOutTree(pos, m, n int, roster map[int]string, send func(addr string) ([]StationResult, int64, error)) ([]StationResult, int64) {
+	kids, err := mtree.Children(pos, m, n)
+	if err != nil {
+		return []StationResult{{Pos: pos, Err: err.Error()}}, 0
+	}
+	var mu sync.Mutex
+	var results []StationResult
+	var freed int64
+	var wg sync.WaitGroup
+	for _, kid := range kids {
+		kid := kid
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs, fr := s.childSubtree(kid, m, n, roster, send)
+			mu.Lock()
+			results = append(results, rs...)
+			freed += fr
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return results, freed
+}
+
+// childSubtree covers one child's subtree for fanOutTree: a reachable
+// child relays onward itself; a dead one is reported and its children
+// grafted onto this station.
+func (s *Station) childSubtree(kid, m, n int, roster map[int]string, send func(addr string) ([]StationResult, int64, error)) ([]StationResult, int64) {
+	s.mu.Lock()
+	dead := s.down[kid] || s.suspect[kid]
+	s.mu.Unlock()
+	failure := "station down"
+	if !dead {
+		addr := roster[kid]
+		if addr == "" {
+			failure = "no address in roster"
+		} else {
+			rs, freed, err := send(addr)
+			if err == nil {
+				return rs, freed
+			}
+			if !canRouteAround(err) {
+				// The station answered (it is alive, the operation
+				// just failed there) or the call timed out (it may
+				// still be executing and fanning out). No grafting —
+				// doubling the delivery would be worse than reporting
+				// the hop.
+				return []StationResult{{Pos: kid, Err: err.Error()}}, 0
+			}
+			s.noteSuspect(kid)
+			failure = err.Error()
+		}
+	}
+	sub, freed := s.fanOutTree(kid, m, n, roster, send)
+	return append([]StationResult{{Pos: kid, Err: failure}}, sub...), freed
+}
+
+// fanOut relays a push to every child of pos, grafting around dead
+// hops. Every failure mode lands as a per-station result entry, never
+// as a call failure.
+func (s *Station) fanOut(pos int, req PushRequest) []StationResult {
+	results, _ := s.fanOutTree(pos, req.M, req.N, req.Roster, func(addr string) ([]StationResult, int64, error) {
+		var reply PushReply
+		if err := s.callWithRetry(addr, methodPush, req, &reply); err != nil {
+			return nil, 0, err
+		}
+		return reply.Results, 0, nil
+	})
+	return results
+}
+
+// canRouteAround reports whether a failed tree call is safe to repair
+// by grafting: the peer must have been unreachable at the transport
+// level, and NOT by timeout — a timed-out peer may still be executing
+// the call (and relaying to its own subtree), so re-delivering its
+// work would duplicate it. Timed-out stations are left to the
+// heartbeat prober, whose probes carry no side effects.
+func canRouteAround(err error) bool {
+	return transport.Unreachable(err) && !errors.Is(err, transport.ErrTimeout)
+}
+
+// callWithRetry is one store-and-forward delivery attempt cycle: an
+// unreachable peer gets pushAttempts tries a short delay apart before
+// the caller routes around it. Timed-out calls are never re-sent (the
+// transport layer's own rule: the server may still be executing them).
+func (s *Station) callWithRetry(addr, method string, req, reply any) error {
+	var err error
+	for attempt := 0; attempt < pushAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(pushRetryDelay)
+		}
+		err = s.pool(addr).Call(method, req, reply)
+		if err == nil || !canRouteAround(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// migrateFanOut is fanOut for end-of-lecture migrations: the same
+// grafting, aggregating freed bytes beside the per-station results. A
+// dead station's own copy cannot be reclaimed now; it is reported and
+// reconciled when the station rejoins (its catch-up rebuilds the
+// document as a reference).
+func (s *Station) migrateFanOut(pos int, req MigrateRequest) MigrateReply {
+	results, freed := s.fanOutTree(pos, req.M, req.N, req.Roster, func(addr string) ([]StationResult, int64, error) {
+		var reply MigrateReply
+		if err := s.callWithRetry(addr, methodMigrate, req, &reply); err != nil {
+			return nil, 0, err
+		}
+		return reply.Stations, reply.Freed, nil
+	})
+	return MigrateReply{Freed: freed, Stations: results}
+}
+
+// resolveViaAncestors walks the parent route for a missing document,
+// skipping dead ancestors: the request goes to the nearest live
+// ancestor (which relays further up itself), and only if every live
+// candidate proves unreachable are the suspected ones tried as a last
+// resort — they may have recovered since the last epoch reached this
+// station.
+func (s *Station) resolveViaAncestors(url string, ttl int) (*ResolveReply, error) {
+	v := s.view()
+	live, err := mtree.LiveAncestors(v.pos, v.m, v.dead)
+	if err != nil {
+		return nil, err
+	}
+	skipped, err := mtree.LiveAncestors(v.pos, v.m, func(p int) bool { return !v.dead(p) })
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for _, p := range append(live, skipped...) {
+		addr := v.roster[p]
+		if addr == "" {
+			continue
+		}
+		var reply ResolveReply
+		err := s.pool(addr).Call(methodResolve, ResolveRequest{URL: url, TTL: ttl}, &reply)
+		if err == nil {
+			return &reply, nil
+		}
+		if !transport.Unreachable(err) {
+			// A live ancestor answered with a definitive error (for
+			// example: no instance anywhere on its own route).
+			return nil, err
+		}
+		s.noteSuspect(p)
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: %s", ErrNoInstance, url)
+	}
+	return nil, fmt.Errorf("%w from station %d: %v", ErrNoRoute, v.pos, lastErr)
+}
+
+// CatchUp reconciles a (re)joined station with the broadcasts it
+// missed: the root's catalog lists every tree-wide distribution; for
+// each document the station lacks it installs the reference scaffold
+// (metadata closure from the root), and for full broadcasts it
+// re-pulls the bundle up the parent route under the watermark policy —
+// so a watermark-0 fabric rematerializes immediately while a
+// conservative one defers the bytes until students actually ask.
+func (s *Station) CatchUp() (*CatchUpResult, error) {
+	v := s.view()
+	if v.pos == 0 {
+		return nil, ErrNotJoined
+	}
+	out := &CatchUpResult{}
+	if v.isRoot {
+		return out, nil // the root authored everything it broadcast
+	}
+	rootAddr := v.roster[1]
+	if rootAddr == "" {
+		return nil, fmt.Errorf("fabric: no root address in roster")
+	}
+	var cat CatalogReply
+	if err := s.pool(rootAddr).Call(methodCatalog, struct{}{}, &cat); err != nil {
+		return nil, fmt.Errorf("fabric: fetching catch-up catalog: %w", err)
+	}
+	for _, e := range cat.Entries {
+		obj, err := s.store.ObjectByURL(e.URL)
+		if err == nil && obj.Form != schema.FormReference {
+			// Resident as an instance (or the class). If the tree
+			// migrated this document while the station was dark, a
+			// WAL-restored copy is the one straggler the migration
+			// could not reach — reclaim it now, as EndLecture's dead
+			// hop report promised.
+			if e.RefOnly && obj.Form == schema.FormInstance && !obj.Persistent {
+				s.importMu.Lock()
+				merr := s.store.MigrateToReference(obj.ID, 1)
+				s.importMu.Unlock()
+				if merr != nil {
+					return out, merr
+				}
+				s.mu.Lock()
+				delete(s.fetches, e.URL)
+				s.mu.Unlock()
+				out.Migrated++
+			}
+			continue
+		}
+		if err != nil {
+			var refs RefsReply
+			if err := s.pool(rootAddr).Call(methodRefs, RefsRequest{URL: e.URL}, &refs); err != nil {
+				return out, fmt.Errorf("fabric: pulling reference closure for %s: %w", e.URL, err)
+			}
+			s.importMu.Lock()
+			_, ierr := s.store.ImportReference(refs.Bundle.Script, refs.Bundle.Impl, v.pos, 1)
+			s.importMu.Unlock()
+			if ierr != nil {
+				return out, ierr
+			}
+			out.References++
+		}
+		if !e.RefOnly {
+			res, err := s.Resolve(e.URL)
+			if err != nil {
+				return out, err
+			}
+			out.Resolved = append(out.Resolved, res)
+		}
+	}
+	return out, nil
+}
+
+// handleCatalog serves the root's broadcast history for catch-up.
+func (s *Station) handleCatalog(decode func(any) error) (any, error) {
+	var req struct{}
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	if !s.isRoot {
+		return nil, fmt.Errorf("%w: catalog", ErrNotRoot)
+	}
+	s.mu.Lock()
+	entries := make([]CatalogEntry, len(s.catalog))
+	copy(entries, s.catalog)
+	s.mu.Unlock()
+	return CatalogReply{Entries: entries}, nil
+}
+
+// handleRefs serves a document's metadata closure from the local
+// store.
+func (s *Station) handleRefs(decode func(any) error) (any, error) {
+	var req RefsRequest
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	impl, err := s.store.Implementation(req.URL)
+	if err != nil {
+		return nil, err
+	}
+	script, err := s.store.Script(impl.ScriptName)
+	if err != nil {
+		return nil, err
+	}
+	return RefsReply{Bundle: docdb.Bundle{Script: script, Impl: impl}}, nil
+}

@@ -1,0 +1,57 @@
+package minisql
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary statement text:
+// any input may be rejected with an error, but none may panic, hang,
+// or return a nil statement without an error. The seed corpus covers
+// every statement form the dialect accepts plus the classic breakage
+// shapes (unterminated strings, stray punctuation, huge numbers).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM scripts",
+		"SELECT name, author FROM scripts WHERE author = 'shih' ORDER BY name LIMIT 3",
+		"SELECT res_id FROM impl_media WHERE size >= 1024 AND size < 1048576",
+		"CREATE TABLE t (id INT PRIMARY KEY, name CHAR(40) NOT NULL, size INT)",
+		"CREATE INDEX idx_name ON t (name)",
+		"CREATE ORDERED INDEX idx_size ON t (size)",
+		"DROP TABLE t",
+		"INSERT INTO t (id, name) VALUES (1, 'lecture''s notes')",
+		"UPDATE t SET name = 'x', size = 2 WHERE id = 1",
+		"DELETE FROM t WHERE id != 7",
+		"SHOW TABLES",
+		"DESCRIBE scripts",
+		"select lower from mixed_Case where a <> b",
+		"",
+		"   ",
+		";",
+		"SELECT",
+		"SELECT * FROM",
+		"INSERT INTO t VALUES",
+		"'unterminated",
+		"SELECT * FROM t WHERE a = 'it''s'",
+		"SELECT * FROM t LIMIT 99999999999999999999",
+		"CREATE TABLE ((((",
+		"DROP TABLE t; DROP TABLE u",
+		"SELECT \x00 FROM t",
+		"ＳＥＬＥＣＴ * ＦＲＯＭ t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err == nil && stmt == nil {
+			t.Fatalf("Parse(%q) returned neither a statement nor an error", src)
+		}
+		if err != nil {
+			var perr *Error
+			if !errors.As(err, &perr) {
+				t.Fatalf("Parse(%q) returned a non-positional error: %v", src, err)
+			}
+		}
+	})
+}

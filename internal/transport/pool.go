@@ -2,6 +2,7 @@ package transport
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -17,6 +18,16 @@ const (
 
 	dialAttempts = 3
 	dialBackoff  = 10 * time.Millisecond
+
+	// DefaultFailThreshold and DefaultFailCooldown configure the
+	// dead-peer breaker: after this many consecutive dial failures
+	// (each already a full retry-with-backoff cycle) the pool marks
+	// the peer down, evicts its idle connections, and fails calls
+	// fast with ErrPeerDown until the cooldown elapses — so a tree
+	// fan-out hitting a dead station pays the dial cost once, not on
+	// every branch.
+	DefaultFailThreshold = 2
+	DefaultFailCooldown  = 250 * time.Millisecond
 )
 
 // Pool is a bounded set of client connections to one server address
@@ -31,9 +42,13 @@ type Pool struct {
 	timeout time.Duration
 	slots   chan struct{}
 
-	mu     sync.Mutex
-	idle   []*Client
-	closed bool
+	mu        sync.Mutex
+	idle      []*Client
+	closed    bool
+	dialFails int       // consecutive failed dial cycles
+	downUntil time.Time // breaker open until this instant
+	threshold int
+	cooldown  time.Duration
 }
 
 // NewPool builds a pool for one server address. size <= 0 selects
@@ -46,11 +61,37 @@ func NewPool(addr string, size int, timeout time.Duration) *Pool {
 	if timeout <= 0 {
 		timeout = DefaultCallTimeout
 	}
-	return &Pool{addr: addr, timeout: timeout, slots: make(chan struct{}, size)}
+	return &Pool{
+		addr:      addr,
+		timeout:   timeout,
+		slots:     make(chan struct{}, size),
+		threshold: DefaultFailThreshold,
+		cooldown:  DefaultFailCooldown,
+	}
 }
 
 // Addr returns the server address the pool dials.
 func (p *Pool) Addr() string { return p.addr }
+
+// SetFailFast tunes the dead-peer breaker: threshold consecutive dial
+// failures open it for the cooldown. A threshold <= 0 disables the
+// breaker entirely (every call dials a dead peer at full cost).
+func (p *Pool) SetFailFast(threshold int, cooldown time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.threshold = threshold
+	p.cooldown = cooldown
+	p.downUntil = time.Time{}
+	p.dialFails = 0
+}
+
+// Down reports whether the breaker is currently open (the peer was
+// recently undialable and calls are failing fast).
+func (p *Pool) Down() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return time.Now().Before(p.downUntil)
+}
 
 // Call invokes a method through a pooled connection, dialing lazily
 // when no idle connection exists. A connection that suffered a
@@ -61,14 +102,28 @@ func (p *Pool) Addr() string { return p.addr }
 // never retried (the server may still be executing them). Server-side
 // errors travel back as ordinary errors and keep the connection
 // pooled.
+//
+// The stale-idle retry is deliberately at-least-once: a parked
+// connection that dies mid-call cannot prove whether the server saw
+// the request, and refusing to retry would strand every first call
+// across a peer restart. Callers whose methods are not idempotent
+// must dedupe server-side — the fabric's install/migrate handlers
+// are idempotent by construction for exactly this reason.
 func (p *Pool) Call(method string, req, resp any) error {
+	return p.CallWithTimeout(method, req, resp, p.timeout)
+}
+
+// CallWithTimeout is Call with a per-call deadline overriding the
+// pool's default — liveness probes want a much shorter timeout than
+// the bundle transfers sharing the same peer pool.
+func (p *Pool) CallWithTimeout(method string, req, resp any, d time.Duration) error {
 	p.slots <- struct{}{}
 	defer func() { <-p.slots }()
 	c, fromIdle, err := p.get()
 	if err != nil {
 		return err
 	}
-	err, reusable := c.do(method, req, resp, p.timeout)
+	err, reusable := c.do(method, req, resp, d)
 	if reusable {
 		p.put(c)
 		return err
@@ -81,7 +136,7 @@ func (p *Pool) Call(method string, req, resp any) error {
 	if dialErr != nil {
 		return dialErr
 	}
-	err, reusable = fresh.do(method, req, resp, p.timeout)
+	err, reusable = fresh.do(method, req, resp, d)
 	if reusable {
 		p.put(fresh)
 	} else {
@@ -91,12 +146,17 @@ func (p *Pool) Call(method string, req, resp any) error {
 }
 
 // get pops an idle connection (reporting that it did) or dials a fresh
-// one.
+// one. While the breaker is open it fails fast with ErrPeerDown
+// instead of dialing.
 func (p *Pool) get() (*Client, bool, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, false, ErrClosed
+	}
+	if time.Now().Before(p.downUntil) {
+		p.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: %s", ErrPeerDown, p.addr)
 	}
 	if n := len(p.idle); n > 0 {
 		c := p.idle[n-1]
@@ -111,7 +171,9 @@ func (p *Pool) get() (*Client, bool, error) {
 
 // dial opens a fresh connection, retrying a cold peer a few times with
 // exponential backoff (a station that is restarting comes back within
-// the window).
+// the window). A fully failed cycle counts against the breaker; enough
+// consecutive failures open it and evict any idle connections, which
+// are stale by the same evidence.
 func (p *Pool) dial() (*Client, error) {
 	backoff := dialBackoff
 	var lastErr error
@@ -122,9 +184,25 @@ func (p *Pool) dial() (*Client, error) {
 		}
 		c, err := Dial(p.addr)
 		if err == nil {
+			p.mu.Lock()
+			p.dialFails = 0
+			p.downUntil = time.Time{}
+			p.mu.Unlock()
 			return c, nil
 		}
 		lastErr = err
+	}
+	p.mu.Lock()
+	p.dialFails++
+	var evict []*Client
+	if p.threshold > 0 && p.dialFails >= p.threshold {
+		p.downUntil = time.Now().Add(p.cooldown)
+		evict = p.idle
+		p.idle = nil
+	}
+	p.mu.Unlock()
+	for _, c := range evict {
+		c.Close()
 	}
 	return nil, lastErr
 }

@@ -209,6 +209,143 @@ func TestPoolClose(t *testing.T) {
 	}
 }
 
+func TestPoolFastFailAfterRepeatedDialFailure(t *testing.T) {
+	// Learn a dead address.
+	s := NewServer()
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	p := NewPool(addr, 2, time.Second)
+	defer p.Close()
+	p.SetFailFast(2, time.Minute)
+	// The first threshold calls pay the full dial-with-backoff cost...
+	for i := 0; i < 2; i++ {
+		if err := p.Call("echo", echoReq{}, nil); err == nil {
+			t.Fatal("call to dead peer succeeded")
+		}
+	}
+	if !p.Down() {
+		t.Fatal("breaker did not open after repeated dial failure")
+	}
+	// ...after which the breaker fails calls fast without dialing.
+	start := time.Now()
+	err = p.Call("echo", echoReq{}, nil)
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("err = %v, want ErrPeerDown", err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Errorf("fast-fail took %v", d)
+	}
+	if !Unreachable(err) {
+		t.Error("ErrPeerDown not classified as unreachable")
+	}
+}
+
+func TestPoolBreakerRecoversAfterCooldown(t *testing.T) {
+	s := NewServer()
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	p := NewPool(addr, 2, time.Second)
+	defer p.Close()
+	p.SetFailFast(1, 20*time.Millisecond)
+	if err := p.Call("echo", echoReq{}, nil); err == nil {
+		t.Fatal("call to dead peer succeeded")
+	}
+	if !p.Down() {
+		t.Fatal("breaker did not open")
+	}
+
+	// The peer comes back; once the cooldown elapses the pool dials
+	// again and the breaker resets.
+	s2 := NewServer()
+	s2.Handle("echo", func(decode func(any) error) (any, error) {
+		var req echoReq
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		return echoResp{Text: req.Text, Twice: req.N * 2}, nil
+	})
+	if _, err := s2.Listen(addr); err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	defer s2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var resp echoResp
+		if err := p.Call("echo", echoReq{Text: "back", N: 2}, &resp); err == nil {
+			if resp.Twice != 4 {
+				t.Errorf("resp = %+v", resp)
+			}
+			break
+		} else if !errors.Is(err, ErrPeerDown) {
+			t.Fatalf("unexpected err through cooldown: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never recovered after cooldown")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if p.Down() {
+		t.Error("breaker still open after successful dial")
+	}
+}
+
+func TestPoolBreakerEvictsIdleConnections(t *testing.T) {
+	s1 := NewServer()
+	s1.Handle("echo", func(decode func(any) error) (any, error) {
+		var req echoReq
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		return echoResp{Text: req.Text}, nil
+	})
+	addr, err := s1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(addr, 4, time.Second)
+	defer p.Close()
+	p.SetFailFast(1, time.Minute)
+	// Park two connections.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Call("echo", echoReq{N: 1}, &echoResp{}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	s1.Close()
+	// Concurrent calls beyond the idle count force a dial, which fails
+	// and trips the breaker; the parked (now stale) connections must be
+	// evicted with it.
+	for i := 0; i < 3; i++ {
+		p.Call("echo", echoReq{}, nil)
+		if p.Down() {
+			break
+		}
+	}
+	if !p.Down() {
+		t.Fatal("breaker did not open")
+	}
+	p.mu.Lock()
+	idle := len(p.idle)
+	p.mu.Unlock()
+	if idle != 0 {
+		t.Errorf("idle connections after breaker opened = %d, want 0", idle)
+	}
+}
+
 func TestClientCallTimeoutDirect(t *testing.T) {
 	addr, _ := startGated(t, 2*time.Second)
 	c, err := Dial(addr)

@@ -33,7 +33,25 @@ var (
 	ErrNoMethod  = errors.New("transport: no such method")
 	ErrBadHeader = errors.New("transport: corrupt frame header")
 	ErrTimeout   = errors.New("transport: call timed out")
+	ErrPeerDown  = errors.New("transport: peer marked down")
 )
+
+// Unreachable reports whether an error means the peer could not be
+// reached at the transport level (dead connection, dial failure,
+// timeout, tripped breaker) as opposed to a server-side error the peer
+// answered with. Failure-aware callers — the distribution fabric's
+// tree repair — use it to decide between routing around a station and
+// surfacing the peer's own answer.
+func Unreachable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrClosed) || errors.Is(err, ErrTimeout) || errors.Is(err, ErrPeerDown) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
 
 // envelope is the wire message.
 type envelope struct {
@@ -62,7 +80,10 @@ func writeFrame(w io.Writer, env *envelope) error {
 	return err
 }
 
-// readFrame receives one envelope.
+// readFrame receives one envelope. The body is read incrementally
+// rather than allocated up front from the header's length field, so a
+// hostile or corrupt header claiming a near-MaxFrame size costs only
+// the bytes the peer actually sends.
 func readFrame(r io.Reader) (*envelope, error) {
 	var head [4]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
@@ -72,12 +93,13 @@ func readFrame(r io.Reader) (*envelope, error) {
 	if n > MaxFrame {
 		return nil, ErrTooLarge
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	var body bytes.Buffer
+	body.Grow(int(min(n, 1<<20)))
+	if _, err := io.CopyN(&body, r, int64(n)); err != nil {
 		return nil, err
 	}
 	var env envelope
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
+	if err := gob.NewDecoder(&body).Decode(&env); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
 	}
 	return &env, nil

@@ -1,0 +1,40 @@
+package webtest
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPollReturnsOnCondition(t *testing.T) {
+	var n atomic.Int64
+	start := time.Now()
+	ok := Poll(5*time.Second, func() bool { return n.Add(1) >= 3 })
+	if !ok {
+		t.Fatal("Poll gave up before the condition held")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("Poll took %v for a near-immediate condition", d)
+	}
+}
+
+func TestPollTimesOut(t *testing.T) {
+	start := time.Now()
+	if Poll(30*time.Millisecond, func() bool { return false }) {
+		t.Fatal("Poll reported success on a never-true condition")
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("Poll gave up after only %v", d)
+	}
+}
+
+func TestEventuallyPasses(t *testing.T) {
+	hit := false
+	Eventually(t, time.Second, "flag flip", func() bool {
+		hit = true
+		return true
+	})
+	if !hit {
+		t.Fatal("condition never ran")
+	}
+}
