@@ -19,13 +19,18 @@ fmt-check:
 test:
 	$(GO) test ./...
 
+# Besides the locking stress tests, this job carries the persistence
+# crash matrix: checkpoint + WAL-tail recovery, kill-mid-checkpoint
+# fallback, torn-tail replay and BLOB-sidecar generation coupling.
 race:
 	$(GO) test -race ./internal/relstore/... ./internal/docdb/...
 
 # The live distribution layer under the race detector: the in-process
-# multi-station fabric (including the 13-station failure/repair run),
-# the station RPC node, the pooled transport, and the subprocess chaos
-# test (SIGKILL + rejoin against real webdocd processes).
+# multi-station fabric (including the 13-station failure/repair run
+# and the streamed catch-up parity tests), the station RPC node, the
+# pooled transport with chunked response streaming, and the subprocess
+# crash tests (SIGKILL mid-broadcast + rejoin, SIGKILL after a
+# checkpoint, legacy-WAL migration) against real webdocd processes.
 race-fabric:
 	$(GO) test -race ./internal/fabric/... ./internal/cluster/... ./internal/transport/... ./cmd/webdocd/...
 

@@ -7,6 +7,7 @@
 //	webdocctl -addr 127.0.0.1:7070 ping
 //	webdocctl -addr 127.0.0.1:7070 sql "SELECT * FROM scripts"
 //	webdocctl -addr 127.0.0.1:7070 tables
+//	webdocctl -addr 127.0.0.1:7070 checkpoint
 //	webdocctl -addr 127.0.0.1:7070 pull http://mmu/course-001/v1 127.0.0.1:7071
 //	webdocctl -addr 127.0.0.1:7070 topology
 //	webdocctl -addr 127.0.0.1:7070 broadcast http://mmu/course-001/v1
@@ -82,6 +83,12 @@ func main() {
 			fail("sql: %v", err)
 		}
 		printSQL(reply)
+	case "checkpoint":
+		reply, err := rs.Checkpoint()
+		if err != nil {
+			fail("checkpoint: %v", err)
+		}
+		fmt.Printf("checkpoint generation %d: %d snapshot bytes, wal seq %d\n", reply.Gen, reply.Bytes, reply.Seq)
 	case "pull":
 		if len(args) != 3 {
 			usage()
@@ -287,6 +294,7 @@ commands:
   ping                 station status
   tables               list relational tables
   sql "STATEMENT"      run a minisql statement
+  checkpoint           write a checkpoint generation now (compacts the WAL tail)
   pull URL TARGET      copy a document bundle to another station
   topology             show the distribution fabric (any joined station)
   broadcast URL        push a course down the m-ary tree (root; -refs for references)

@@ -10,7 +10,19 @@
 //	webdocd -addr 127.0.0.1:7070 -root -m 2 -seed-course 40
 //	webdocd -addr 127.0.0.1:7071 -join 127.0.0.1:7070
 //	webdocd -addr 127.0.0.1:7072 -join 127.0.0.1:7070
-//	webdocd -wal station1.wal   # persist committed transactions
+//	webdocd -data station1.d    # durable: checkpoints + WAL tail
+//
+// Durability is generation-numbered: the -data directory holds the
+// latest checkpoint (relational snapshot plus BLOB sidecar, each
+// written temp-then-rename) and the write-ahead-log tail appended
+// since. A background checkpointer compacts the log when the tail
+// crosses -checkpoint-bytes or every -checkpoint-every, SIGTERM takes
+// a final checkpoint, and a restart loads the checkpoint and replays
+// only the tail — so restart cost is bounded by the checkpoint
+// interval, and a SIGKILL at any instant loses nothing that was
+// checkpointed. The old single-file layout (-wal station1.wal plus its
+// .blobs sidecar) is still accepted: the legacy log is replayed once,
+// checkpointed into PATH.d, and renamed aside.
 //
 // A -root station is the instructor station (position 1) and the join
 // authority; -join stations contact it, are assigned the next linear
@@ -38,7 +50,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/blob"
 	"repro/internal/cluster"
@@ -55,7 +69,10 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
 		httpAddr   = flag.String("http", "", "serve the Web-savvy virtual library UI on this address (empty disables)")
 		pos        = flag.Int("pos", 1, "station position in the linear joining order (standalone mode; with -rejoin: the position to reclaim)")
-		walPath    = flag.String("wal", "", "write-ahead log path (empty disables persistence)")
+		dataDir    = flag.String("data", "", "durability directory: checkpoint generations + WAL tail (empty disables persistence)")
+		walPath    = flag.String("wal", "", "durability base path: data lands in PATH.d; a legacy single-file WAL at PATH is migrated in once")
+		ckptBytes  = flag.Int64("checkpoint-bytes", 64<<20, "checkpoint when the WAL tail exceeds this many bytes (0 disables the size trigger)")
+		ckptEvery  = flag.Duration("checkpoint-every", 0, "checkpoint on this interval (0 disables the timer trigger)")
 		seedCourse = flag.Int("seed-course", 0, "author a synthetic course with this many pages on startup")
 		root       = flag.Bool("root", false, "act as the distribution fabric root (instructor station, position 1)")
 		joinAddr   = flag.String("join", "", "join the distribution fabric via this root address")
@@ -65,6 +82,9 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", fabric.DefaultHeartbeatInterval, "root mode: probe joined stations this often and declare the unresponsive ones dead (0 disables)")
 	)
 	flag.Parse()
+	if *dataDir != "" && *walPath != "" {
+		log.Fatal("webdocd: -data and -wal are mutually exclusive (-wal is the legacy spelling)")
+	}
 	if *root && *joinAddr != "" {
 		log.Fatal("webdocd: -root and -join are mutually exclusive")
 	}
@@ -81,34 +101,39 @@ func main() {
 	if err != nil {
 		log.Fatalf("webdocd: opening store: %v", err)
 	}
-	blobSnapPath := *walPath + ".blobs"
-	if *walPath != "" {
-		// BLOB bytes are not in the WAL; they come back from the
-		// sidecar snapshot written at shutdown.
-		if f, err := os.Open(blobSnapPath); err == nil {
-			if err := blobs.Restore(f); err != nil {
-				log.Fatalf("webdocd: restoring BLOB snapshot: %v", err)
+	dir := *dataDir
+	if dir == "" && *walPath != "" {
+		dir = *walPath + ".d"
+	}
+	if dir != "" {
+		// A legacy single-file WAL replays into the engine before the
+		// durability directory attaches; see prepareLegacyMigration
+		// for the crash-safety argument.
+		migrating := false
+		if *walPath != "" {
+			migrating = prepareLegacyMigration(rel, blobs, *walPath, dir)
+		}
+		// Recover restores the newest checkpoint generation (relational
+		// snapshot + BLOB sidecar), chain-replays the WAL tail, resyncs
+		// the ID counter and attaches the tail for appends.
+		rec, err := store.Recover(dir)
+		if err != nil {
+			log.Fatalf("webdocd: recovering %s: %v", dir, err)
+		}
+		if rec.Gen > 0 || rec.Applied > 0 {
+			log.Printf("webdocd: recovered checkpoint generation %d, replayed %d tail transaction(s)", rec.Gen, rec.Applied)
+		}
+		if migrating {
+			// Commit the migration: checkpoint the replayed state into
+			// the directory, then retire the legacy files. The rename
+			// is the commit point — until it happens, a crash just
+			// redoes the whole migration from the legacy file.
+			if _, err := store.CheckpointNow(); err != nil {
+				log.Fatalf("webdocd: checkpointing migrated state: %v", err)
 			}
-			f.Close()
-		}
-		if f, err := os.Open(*walPath); err == nil {
-			// Replay an existing log into the live engine (its schema is
-			// already installed by docdb.Open) before attaching the log
-			// for appends, so a restarted station serves its old data.
-			if n, err := rel.ReplayWAL(f); err != nil {
-				log.Fatalf("webdocd: replaying WAL: %v", err)
-			} else if n > 0 {
-				log.Printf("webdocd: replayed %d committed transactions", n)
-			}
-			f.Close()
-		}
-		// Restored rows carry generated IDs; move the counter past them
-		// so new IDs cannot collide.
-		if err := store.SyncIDs(); err != nil {
-			log.Fatalf("webdocd: syncing ID counter: %v", err)
-		}
-		if err := rel.OpenWAL(*walPath); err != nil {
-			log.Fatalf("webdocd: opening WAL: %v", err)
+			os.Rename(*walPath, *walPath+".migrated")
+			os.Rename(*walPath+".blobs", *walPath+".blobs.migrated")
+			log.Printf("webdocd: migrated legacy WAL %s into %s", *walPath, dir)
 		}
 	}
 
@@ -191,27 +216,127 @@ func main() {
 		}()
 	}
 
+	// Background checkpointer: compact the log whenever the tail grows
+	// past -checkpoint-bytes or the -checkpoint-every timer fires, so
+	// restart cost stays bounded no matter how long the station runs.
+	stopCkpt := make(chan struct{})
+	var ckptWG sync.WaitGroup
+	if dir != "" && (*ckptEvery > 0 || *ckptBytes > 0) {
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			runCheckpointer(store, rel, *ckptEvery, *ckptBytes, stopCkpt)
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Println("webdocd: shutting down")
-	// Orderly shutdown: stop serving, flush the BLOB sidecar snapshot,
-	// then close the WAL — a kill-and-restart cycle must preserve both
-	// the relational rows and the media bytes they point at.
+	// Orderly shutdown: stop serving, then take a final checkpoint —
+	// relational snapshot, BLOB sidecar and rotated WAL land as one
+	// generation, every file written temp-then-rename, so even a crash
+	// during the shutdown itself leaves a loadable store. (The old
+	// path re-created the BLOB sidecar in place with os.Create; dying
+	// mid-write destroyed the only copy.)
+	close(stopCkpt)
+	ckptWG.Wait()
 	if err := stop(); err != nil {
 		log.Printf("webdocd: closing station: %v", err)
 	}
-	if *walPath != "" {
-		if f, err := os.Create(blobSnapPath); err != nil {
-			log.Printf("webdocd: writing BLOB snapshot: %v", err)
+	if dir != "" {
+		if info, err := store.CheckpointNow(); err != nil {
+			log.Printf("webdocd: shutdown checkpoint: %v", err)
 		} else {
-			if err := blobs.Snapshot(f); err != nil {
-				log.Printf("webdocd: writing BLOB snapshot: %v", err)
-			}
-			f.Close()
+			log.Printf("webdocd: shutdown checkpoint generation %d (%d bytes)", info.Gen, info.Bytes)
 		}
-		rel.CloseWAL()
+		if err := rel.CloseWAL(); err != nil {
+			log.Printf("webdocd: closing WAL: %v", err)
+		}
 	}
+}
+
+// runCheckpointer polls the WAL tail once a second and checkpoints
+// when either trigger fires: the tail crossing the byte budget, or the
+// interval elapsing since the last checkpoint.
+func runCheckpointer(store *docdb.Store, rel *relstore.DB, every time.Duration, maxBytes int64, stop <-chan struct{}) {
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			due := every > 0 && time.Since(last) >= every
+			full := maxBytes > 0 && rel.WALTailBytes() >= maxBytes
+			if !due && !full {
+				continue
+			}
+			info, err := store.CheckpointNow()
+			last = time.Now()
+			if err != nil {
+				log.Printf("webdocd: background checkpoint: %v", err)
+				continue
+			}
+			log.Printf("webdocd: checkpoint generation %d (%d bytes, wal seq %d)", info.Gen, info.Bytes, info.Seq)
+		}
+	}
+}
+
+// prepareLegacyMigration upgrades a pre-checkpoint station: the
+// single-file WAL at path (and its .blobs sidecar from the last
+// orderly shutdown) is replayed into the engine before the durability
+// directory attaches, then checkpointed and renamed aside by the
+// caller. The rename of the legacy file is the migration's only
+// commit point, which makes a crash at any instant safe:
+//
+//   - before the checkpoint lands, restarts find the legacy file and
+//     no installed snapshot, discard whatever partial state a crashed
+//     attempt left in the directory, and redo the whole migration
+//     from the legacy file;
+//   - after the checkpoint but before the rename, restarts find the
+//     complete state installed and just finish the rename — the
+//     legacy file is never half-applied and never double-applied.
+func prepareLegacyMigration(rel *relstore.DB, blobs *blob.Store, path, dir string) bool {
+	fi, err := os.Stat(path)
+	if err != nil || fi.IsDir() {
+		return false
+	}
+	if relstore.HasCheckpoint(dir) {
+		// Either an interrupted migration that already checkpointed
+		// the full legacy state, or a directory with genuinely newer
+		// history: the installed generation is authoritative either
+		// way, so retire the legacy files without replaying them.
+		os.Rename(path, path+".migrated")
+		os.Rename(path+".blobs", path+".blobs.migrated")
+		log.Printf("webdocd: %s already holds a checkpoint; archived legacy WAL %s", dir, path)
+		return false
+	}
+	// No installed snapshot: anything in the directory is the partial
+	// re-log of this same legacy file from a crashed attempt. Start
+	// the migration over from the authoritative copy.
+	if err := os.RemoveAll(dir); err != nil {
+		log.Fatalf("webdocd: clearing partial migration in %s: %v", dir, err)
+	}
+	if f, err := os.Open(path + ".blobs"); err == nil {
+		rerr := blobs.Restore(f)
+		f.Close()
+		if rerr != nil {
+			log.Fatalf("webdocd: restoring legacy BLOB snapshot: %v", rerr)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("webdocd: opening legacy WAL: %v", err)
+	}
+	n, _, rerr := rel.ReplayWAL(f)
+	f.Close()
+	if rerr != nil {
+		log.Fatalf("webdocd: replaying legacy WAL: %v", rerr)
+	}
+	log.Printf("webdocd: replayed legacy WAL %s (%d transactions)", path, n)
+	return true
 }
 
 // seed authors the synthetic startup course (pages > 0) unless the WAL

@@ -12,9 +12,12 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/blob"
 	"repro/internal/cluster"
+	"repro/internal/docdb"
 	"repro/internal/fabric"
 	"repro/internal/netsim"
+	"repro/internal/relstore"
 	"repro/internal/webtest"
 	"repro/internal/workload"
 )
@@ -173,6 +176,149 @@ func TestKillRestartPreservesMedia(t *testing.T) {
 		if len(m.Data) == 0 {
 			t.Errorf("media %d (%s) came back empty", i, m.Name)
 		}
+	}
+	stopDaemon(t, cmd2)
+}
+
+// TestSIGKILLAfterCheckpointPreservesState is the no-mercy leg of the
+// crash matrix: the daemon is checkpointed over RPC (the webdocctl
+// checkpoint verb) and then SIGKILLed — no SIGTERM, no sidecar flush.
+// The restart must serve the complete course from the checkpoint
+// generation: relational rows AND physical BLOB bytes, which the old
+// write-sidecar-only-on-SIGTERM scheme lost on every hard kill.
+func TestSIGKILLAfterCheckpointPreservesState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := daemonBinary(t)
+	dataDir := filepath.Join(t.TempDir(), "station1.d")
+	spec := workload.DefaultSpec(1)
+
+	addr, cmd := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-pos", "1", "-data", dataDir, "-seed-course", "3")
+	rs, err := cluster.DialStation(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mediaBefore := countMedia(t, rs)
+	if mediaBefore == 0 {
+		t.Fatal("seeded station has no media")
+	}
+	bundleBefore, err := rs.FetchBundle(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := rs.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint RPC: %v", err)
+	}
+	if ck.Gen == 0 || ck.Bytes == 0 {
+		t.Fatalf("checkpoint reply = %+v", ck)
+	}
+	rs.Close()
+	// SIGKILL: no shutdown path runs at all.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	addr2, cmd2 := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-pos", "1", "-data", dataDir)
+	rs2, err := cluster.DialStation(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs2.Close()
+	if got := countMedia(t, rs2); got != mediaBefore {
+		t.Errorf("media rows after SIGKILL restart = %d, want %d", got, mediaBefore)
+	}
+	bundleAfter, err := rs2.FetchBundle(spec.URL)
+	if err != nil {
+		t.Fatalf("bundle after SIGKILL restart: %v", err)
+	}
+	if got, want := bundleAfter.TotalBytes(), bundleBefore.TotalBytes(); got != want {
+		t.Errorf("bundle bytes after SIGKILL restart = %d, want %d", got, want)
+	}
+	for i, m := range bundleAfter.Media {
+		if len(m.Data) == 0 {
+			t.Errorf("media %d (%s) lost its bytes across the SIGKILL", i, m.Name)
+		}
+	}
+	stopDaemon(t, cmd2)
+}
+
+// TestLegacyWALMigratesIntoCheckpointStore: a station that last ran
+// the old single-file layout restarts under the new binary and keeps
+// serving its data, now from the checkpointed directory; the legacy
+// files are renamed aside so a further restart cannot double-apply
+// them.
+func TestLegacyWALMigratesIntoCheckpointStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := daemonBinary(t)
+	wal := filepath.Join(t.TempDir(), "station1.wal")
+	spec := workload.DefaultSpec(1)
+
+	// Fabricate the legacy layout the way the old daemon did: a bare
+	// WAL file plus a .blobs sidecar.
+	rel := relstore.NewDB()
+	blobs := blob.NewStore()
+	store, err := docdb.Open(rel, blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.OpenWAL(wal); err != nil {
+		t.Fatal(err)
+	}
+	legacySpec := workload.DefaultSpec(1)
+	legacySpec.Pages = 3
+	legacySpec.MediaScaleDown = 4096
+	if _, err := workload.BuildCourse(store, legacySpec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.NewInstance(legacySpec.URL, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	sidecar, err := os.Create(wal + ".blobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blobs.Snapshot(sidecar); err != nil {
+		t.Fatal(err)
+	}
+	sidecar.Close()
+
+	addr, cmd := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-pos", "1", "-wal", wal)
+	rs, err := cluster.DialStation(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countMedia(t, rs); got == 0 {
+		t.Error("migrated station serves no media rows")
+	}
+	if _, err := rs.FetchBundle(spec.URL); err != nil {
+		t.Errorf("bundle after legacy migration: %v", err)
+	}
+	rs.Close()
+	stopDaemon(t, cmd)
+	if _, err := os.Stat(wal); !os.IsNotExist(err) {
+		t.Error("legacy WAL still in place after migration")
+	}
+	if _, err := os.Stat(wal + ".migrated"); err != nil {
+		t.Errorf("migrated WAL not renamed aside: %v", err)
+	}
+
+	// Restart on the same flags: state now comes from the directory.
+	addr2, cmd2 := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-pos", "1", "-wal", wal)
+	rs2, err := cluster.DialStation(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs2.Close()
+	if got := countMedia(t, rs2); got == 0 {
+		t.Error("post-migration restart serves no media rows")
 	}
 	stopDaemon(t, cmd2)
 }

@@ -1,0 +1,87 @@
+// Package atomicio writes files crash-safely: content lands in a
+// temporary file in the destination directory, is fsynced, and only
+// then renamed over the final name. A reader therefore sees either the
+// previous complete file or the new complete file, never a torn one —
+// the contract every checkpoint, snapshot and sidecar writer in the
+// station depends on. (The old shutdown path opened the destination
+// with os.Create and wrote in place; a crash mid-write destroyed the
+// only copy.)
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The temporary file lives in path's directory (rename is only atomic
+// within one filesystem) and is removed on any failure. The data is
+// synced to stable storage before the rename, and the directory is
+// synced after it, so a crash at any instant leaves either the old
+// file or the new one.
+func WriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: creating temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := write(tmp); err != nil {
+		return fail(fmt.Errorf("atomicio: writing %s: %w", path, err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("atomicio: syncing %s: %w", path, err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: installing %s: %w", path, err)
+	}
+	SyncDir(dir)
+	return nil
+}
+
+// SyncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Errors are ignored: some filesystems refuse directory fsync, and the
+// rename itself already succeeded.
+func SyncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// RemoveTemps deletes leftover temporary files a crashed writer may
+// have stranded in dir. It is safe to call concurrently with WriteFile
+// only at startup, before writers run.
+func RemoveTemps(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isTemp(e.Name()) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// isTemp reports whether a file name matches WriteFile's temp pattern.
+func isTemp(name string) bool {
+	for i := 0; i+5 <= len(name); i++ {
+		if name[i:i+5] == ".tmp-" {
+			return true
+		}
+	}
+	return false
+}

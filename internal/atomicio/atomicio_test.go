@@ -1,0 +1,82 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("one"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "one" {
+		t.Fatalf("content = %q", got)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("two"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "two" {
+		t.Fatalf("content after replace = %q", got)
+	}
+	// No temp debris after success.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("dir holds %d entries, want 1", len(entries))
+	}
+}
+
+func TestWriteFileFailureKeepsOldCopy(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("good"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFile(path, func(w io.Writer) error {
+		w.Write([]byte("torn"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	// The previous complete file survives; the torn temp is gone.
+	if got, _ := os.ReadFile(path); string(got) != "good" {
+		t.Fatalf("content after failed write = %q", got)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp debris left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestRemoveTemps(t *testing.T) {
+	dir := t.TempDir()
+	keep := filepath.Join(dir, "snap-0000000001")
+	stray := filepath.Join(dir, "snap-0000000002.tmp-12345")
+	os.WriteFile(keep, []byte("x"), 0o644)
+	os.WriteFile(stray, []byte("y"), 0o644)
+	RemoveTemps(dir)
+	if _, err := os.Stat(keep); err != nil {
+		t.Error("RemoveTemps deleted a real file")
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Error("RemoveTemps kept a stray temp")
+	}
+}

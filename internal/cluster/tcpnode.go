@@ -50,6 +50,15 @@ type SQLRequest struct {
 	Stmt string
 }
 
+// CheckpointReply reports a checkpoint generation the station wrote on
+// request.
+type CheckpointReply struct {
+	Gen      uint64
+	Seq      uint64
+	Bytes    int64
+	Snapshot string
+}
+
 // SQLReply carries a rendered result set (values are formatted, so the
 // reply is gob-stable regardless of column types).
 type SQLReply struct {
@@ -68,6 +77,7 @@ func NewNode(pos int, store *docdb.Store) *Node {
 	n.srv.Handle("Bundle", n.handleBundle)
 	n.srv.Handle("Import", n.handleImport)
 	n.srv.Handle("SQL", n.handleSQL)
+	n.srv.Handle("Checkpoint", n.handleCheckpoint)
 	return n
 }
 
@@ -150,6 +160,21 @@ func (n *Node) handleImport(decode func(any) error) (any, error) {
 	return ImportReply{ObjectID: obj.ID, Form: obj.Form}, nil
 }
 
+// handleCheckpoint writes a checkpoint generation on operator request
+// (the webdocctl checkpoint verb). Stations running without a
+// durability directory answer with an error.
+func (n *Node) handleCheckpoint(decode func(any) error) (any, error) {
+	var req struct{}
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	info, err := n.Store.CheckpointNow()
+	if err != nil {
+		return nil, err
+	}
+	return CheckpointReply{Gen: info.Gen, Seq: info.Seq, Bytes: info.Bytes, Snapshot: info.Snapshot}, nil
+}
+
 func (n *Node) handleSQL(decode func(any) error) (any, error) {
 	var req SQLRequest
 	if err := decode(&req); err != nil {
@@ -221,5 +246,12 @@ func (r *RemoteStation) Import(b *docdb.Bundle, persistent bool) (ImportReply, e
 func (r *RemoteStation) SQL(stmt string) (SQLReply, error) {
 	var reply SQLReply
 	err := r.c.Call("SQL", SQLRequest{Stmt: stmt}, &reply)
+	return reply, err
+}
+
+// Checkpoint makes the station write a checkpoint generation now.
+func (r *RemoteStation) Checkpoint() (CheckpointReply, error) {
+	var reply CheckpointReply
+	err := r.c.Call("Checkpoint", struct{}{}, &reply)
 	return reply, err
 }

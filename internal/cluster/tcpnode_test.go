@@ -115,6 +115,59 @@ func TestTCPFetchUnknownBundle(t *testing.T) {
 	}
 }
 
+// TestTCPCheckpointVerb drives the operator checkpoint RPC: a durable
+// station writes a generation on request; an in-memory one refuses.
+func TestTCPCheckpointVerb(t *testing.T) {
+	store, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Recover(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.BuildCourse(store, smallCourse(1)); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode(1, store)
+	addr, err := n.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	rs, err := DialStation(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	reply, err := rs.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Gen != 1 || reply.Bytes == 0 {
+		t.Errorf("checkpoint reply = %+v", reply)
+	}
+	// Idempotent escalation: a second checkpoint is the next generation.
+	reply2, err := rs.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply2.Gen != 2 {
+		t.Errorf("second checkpoint generation = %d, want 2", reply2.Gen)
+	}
+
+	// A station running without persistence answers with an error, not
+	// a crash.
+	_, memAddr, _ := startNode(t, 2, false)
+	mem, err := DialStation(memAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	if _, err := mem.Checkpoint(); err == nil {
+		t.Error("checkpoint of an in-memory station succeeded")
+	}
+}
+
 func TestTCPSQL(t *testing.T) {
 	_, addr, spec := startNode(t, 1, true)
 	rs, err := DialStation(addr)

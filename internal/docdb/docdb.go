@@ -34,6 +34,10 @@ type Store struct {
 	blobs *blob.Store
 	seq   atomic.Uint64
 
+	// durDir is the durability directory Recover attached ("" for an
+	// in-memory store); set once at startup, before the store serves.
+	durDir string
+
 	// Now supplies timestamps; replace it in tests for determinism.
 	Now func() time.Time
 }

@@ -62,7 +62,10 @@
 //     re-assigned its old position — or a fresh one — then catches up
 //     (CatchUp): the root's broadcast catalog tells it what it
 //     missed; it installs reference scaffolds and re-pulls full
-//     broadcasts up the parent route under the watermark policy.
+//     broadcasts up the parent route under the watermark policy. A
+//     station far behind the catalog instead pulls the root's state
+//     snapshot in one chunked transport stream (see statesync.go), so
+//     catching up costs O(state), not O(missed broadcasts).
 package fabric
 
 import (
@@ -124,6 +127,7 @@ const (
 	methodReportDown = "Fabric.ReportDown"
 	methodCatalog    = "Fabric.Catalog"
 	methodRefs       = "Fabric.Refs"
+	methodState      = "Fabric.State"
 )
 
 // JoinRequest announces a new station's listen address to the root.
@@ -224,6 +228,7 @@ func newStation(store *docdb.Store, isRoot bool, m, watermark int) *Station {
 	s.node.Handle(methodReportDown, s.handleReportDown)
 	s.node.Handle(methodCatalog, s.handleCatalog)
 	s.node.Handle(methodRefs, s.handleRefs)
+	s.node.Handle(methodState, s.handleState)
 	return s
 }
 

@@ -366,6 +366,209 @@ func TestCatchUpDefersBytesAboveWatermark(t *testing.T) {
 	}
 }
 
+// TestCatchUpStreamsWhenFarBehind: a rejoiner missing at least
+// catchUpStreamThreshold documents pulls the root's state snapshot in
+// one stream instead of walking the catalog entry by entry, and lands
+// on the same end-state.
+func TestCatchUpStreamsWhenFarBehind(t *testing.T) {
+	stations := newFabric(t, 5, 2, 0)
+	root := stations[0]
+	specs := make([]string, 4)
+	for i := range specs {
+		specs[i] = authorCourse(t, root, i+1).URL
+	}
+	stations[2].Close()
+	for _, url := range specs {
+		if _, err := root.Broadcast(url, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probeUntilDown(t, root, 3)
+
+	st, err := Rejoin(newTestStore(t), "127.0.0.1:0", root.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	res, err := st.CatchUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Streamed || res.StreamedBytes == 0 {
+		t.Errorf("catch-up did not stream: %+v", res)
+	}
+	if res.References != len(specs) {
+		t.Errorf("catch-up installed %d documents, want %d", res.References, len(specs))
+	}
+	if len(res.Resolved) != len(specs) {
+		t.Fatalf("catch-up resolved %d documents, want %d", len(res.Resolved), len(specs))
+	}
+	for _, r := range res.Resolved {
+		if !r.Replicated || r.Fetches != 1 {
+			t.Errorf("streamed resolve under watermark 0 = %+v", r)
+		}
+	}
+	for _, url := range specs {
+		obj, err := st.Store().ObjectByURL(url)
+		if err != nil || obj.Form != schema.FormInstance {
+			t.Errorf("%s after streamed catch-up: %+v (err=%v)", url, obj, err)
+		}
+	}
+	if st.Store().Blobs().Stats().PhysicalBytes == 0 {
+		t.Error("streamed catch-up under watermark 0 materialized no bytes")
+	}
+}
+
+// TestCatchUpStreamDefersBytesAboveWatermark: the streamed path obeys
+// the same watermark policy as per-entry catch-up — references only,
+// one fetch recorded per document, so later demand crosses the
+// watermark on the same schedule.
+func TestCatchUpStreamDefersBytesAboveWatermark(t *testing.T) {
+	stations := newFabric(t, 3, 2, 1)
+	root := stations[0]
+	specs := make([]string, 3)
+	for i := range specs {
+		specs[i] = authorCourse(t, root, i+1).URL
+	}
+	stations[2].Close()
+	for _, url := range specs {
+		if _, err := root.Broadcast(url, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probeUntilDown(t, root, 3)
+	st, err := Rejoin(newTestStore(t), "127.0.0.1:0", root.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	res, err := st.CatchUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Streamed {
+		t.Fatalf("catch-up did not stream: %+v", res)
+	}
+	for _, r := range res.Resolved {
+		if r.Replicated || r.Fetches != 1 {
+			t.Errorf("streamed resolve above the watermark = %+v", r)
+		}
+	}
+	if phys := st.Store().Blobs().Stats().PhysicalBytes; phys != 0 {
+		t.Errorf("streamed catch-up above the watermark materialized %d bytes", phys)
+	}
+	// The streamed serve counted as fetch 1: the next resolve is fetch
+	// 2 and crosses watermark 1, exactly as the per-entry path would.
+	follow, err := st.Resolve(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if follow.Fetches != 2 || !follow.Replicated {
+		t.Errorf("resolve after streamed catch-up = %+v, want fetch 2 crossing the watermark", follow)
+	}
+}
+
+// TestStreamedCatchUpMatchesSimulator extends the fabric parity suite:
+// a station dark through four broadcasts rejoins, catches up via the
+// checkpoint stream, and the fabric lands on exactly the end-state the
+// netsim simulator predicts for the same schedule.
+func TestStreamedCatchUpMatchesSimulator(t *testing.T) {
+	const (
+		n         = 5
+		m         = 2
+		watermark = 0
+		courses   = 4
+	)
+
+	// --- Simulated run.
+	sim, err := cluster.New(cluster.Config{
+		Stations:  n,
+		M:         m,
+		UplinkBps: 1.25e6,
+		Latency:   5 * time.Millisecond,
+		Watermark: watermark,
+		Mode:      netsim.Sequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSpecs := make([]string, courses)
+	for i := 0; i < courses; i++ {
+		spec := smallCourse(i + 1)
+		simSpecs[i] = spec.URL
+		if _, _, err := sim.AuthorCourse(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sim.MarkDown(3); err != nil {
+		t.Fatal(err)
+	}
+	for _, url := range simSpecs {
+		if _, _, err := sim.PreBroadcastResilient(url); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sim.MarkUp(3); err != nil {
+		t.Fatal(err)
+	}
+	for _, url := range simSpecs {
+		if _, err := sim.FetchOnDemandResilient(3, url); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// --- Live run, same schedule, catch-up via the stream.
+	stations := newFabric(t, n, m, watermark)
+	root := stations[0]
+	for i := 0; i < courses; i++ {
+		authorCourse(t, root, i+1)
+	}
+	stations[2].Close()
+	for _, url := range simSpecs {
+		if _, err := root.Broadcast(url, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probeUntilDown(t, root, 3)
+	st, err := Rejoin(newTestStore(t), "127.0.0.1:0", root.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	res, err := st.CatchUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Streamed {
+		t.Fatalf("far-behind rejoin did not stream: %+v", res)
+	}
+	stations[2] = st
+
+	// --- Same end-state, station by station.
+	simUsage := sim.DiskUsage()
+	for pos := 1; pos <= n; pos++ {
+		live := stations[pos-1].Store()
+		simSt, err := sim.Station(pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := live.Blobs().Stats().PhysicalBytes, simUsage[pos-1]; got != want {
+			t.Errorf("station %d: physical bytes fabric=%d sim=%d", pos, got, want)
+		}
+		for _, url := range simSpecs {
+			liveObj, liveErr := live.ObjectByURL(url)
+			simObj, simErr := simSt.Store.ObjectByURL(url)
+			if (liveErr == nil) != (simErr == nil) {
+				t.Errorf("station %d %s: presence fabric=%v sim=%v", pos, url, liveErr, simErr)
+				continue
+			}
+			if liveErr == nil && liveObj.Form != simObj.Form {
+				t.Errorf("station %d %s: form fabric=%s sim=%s", pos, url, liveObj.Form, simObj.Form)
+			}
+		}
+	}
+}
+
 // TestThirteenStationFailureMatchesSimulator is the acceptance run: a
 // 13-station m=3 fabric loses two non-root stations mid-broadcast,
 // repairs the tree, serves an orphaned descendant, takes the stations

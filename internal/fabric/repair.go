@@ -56,8 +56,13 @@ type CatchUpResult struct {
 	// while this station was dark.
 	Migrated int
 	// Resolved holds the per-document outcome of re-pulling missed
-	// full broadcasts up the parent route under the watermark policy.
+	// full broadcasts under the watermark policy.
 	Resolved []FetchResult
+	// Streamed reports that the missing documents arrived as one
+	// checkpoint stream from the root (the far-behind path) instead of
+	// per-entry pulls; StreamedBytes is the stream's transfer size.
+	Streamed      bool
+	StreamedBytes int64
 }
 
 // recordBroadcast notes a tree-wide broadcast in the root's catalog so
@@ -260,9 +265,16 @@ func (s *Station) resolveViaAncestors(url string, ttl int) (*ResolveReply, error
 // missed: the root's catalog lists every tree-wide distribution; for
 // each document the station lacks it installs the reference scaffold
 // (metadata closure from the root), and for full broadcasts it
-// re-pulls the bundle up the parent route under the watermark policy —
-// so a watermark-0 fabric rematerializes immediately while a
-// conservative one defers the bytes until students actually ask.
+// re-pulls the bundle under the watermark policy — so a watermark-0
+// fabric rematerializes immediately while a conservative one defers
+// the bytes until students actually ask.
+//
+// A station missing only a document or two walks the catalog entry by
+// entry (Refs RPC plus parent-route resolve). One that is far behind —
+// catchUpStreamThreshold or more missed documents — pulls the root's
+// state snapshot in a single chunked stream instead, so the cost of
+// coming back is proportional to the state, not to the number of
+// broadcasts that happened while it was dark.
 func (s *Station) CatchUp() (*CatchUpResult, error) {
 	v := s.view()
 	if v.pos == 0 {
@@ -280,9 +292,16 @@ func (s *Station) CatchUp() (*CatchUpResult, error) {
 	if err := s.pool(rootAddr).Call(methodCatalog, struct{}{}, &cat); err != nil {
 		return nil, fmt.Errorf("fabric: fetching catch-up catalog: %w", err)
 	}
+	// Sort the catalog into what this station already holds and what
+	// it lacks entirely.
+	var missing, refHeld []CatalogEntry
 	for _, e := range cat.Entries {
 		obj, err := s.store.ObjectByURL(e.URL)
-		if err == nil && obj.Form != schema.FormReference {
+		if err != nil {
+			missing = append(missing, e)
+			continue
+		}
+		if obj.Form != schema.FormReference {
 			// Resident as an instance (or the class). If the tree
 			// migrated this document while the station was dark, a
 			// WAL-restored copy is the one straggler the migration
@@ -302,7 +321,18 @@ func (s *Station) CatchUp() (*CatchUpResult, error) {
 			}
 			continue
 		}
-		if err != nil {
+		// Holds the reference already; a full broadcast still owes a
+		// re-pull.
+		if !e.RefOnly {
+			refHeld = append(refHeld, e)
+		}
+	}
+	if len(missing) >= catchUpStreamThreshold {
+		if err := s.catchUpStreamed(v, rootAddr, missing, out); err != nil {
+			return out, err
+		}
+	} else {
+		for _, e := range missing {
 			var refs RefsReply
 			if err := s.pool(rootAddr).Call(methodRefs, RefsRequest{URL: e.URL}, &refs); err != nil {
 				return out, fmt.Errorf("fabric: pulling reference closure for %s: %w", e.URL, err)
@@ -314,14 +344,21 @@ func (s *Station) CatchUp() (*CatchUpResult, error) {
 				return out, ierr
 			}
 			out.References++
-		}
-		if !e.RefOnly {
-			res, err := s.Resolve(e.URL)
-			if err != nil {
-				return out, err
+			if !e.RefOnly {
+				res, err := s.Resolve(e.URL)
+				if err != nil {
+					return out, err
+				}
+				out.Resolved = append(out.Resolved, res)
 			}
-			out.Resolved = append(out.Resolved, res)
 		}
+	}
+	for _, e := range refHeld {
+		res, err := s.Resolve(e.URL)
+		if err != nil {
+			return out, err
+		}
+		out.Resolved = append(out.Resolved, res)
 	}
 	return out, nil
 }

@@ -417,7 +417,7 @@ func TestBatchSingleWALAppend(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db2.ReplayWAL(f2); err != nil {
+	if _, _, err := db2.ReplayWAL(f2); err != nil {
 		t.Fatal(err)
 	}
 	if n, _ := db2.Count("t"); n != 100 {

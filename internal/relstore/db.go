@@ -88,6 +88,16 @@ type DB struct {
 	metaMu sync.RWMutex
 	tables map[string]*table
 	wal    *WAL // nil when WAL logging is disabled
+
+	// lastSeq is the WAL sequence high-water observed outside an
+	// attached log (latest replay, last CloseWAL); guarded by metaMu.
+	lastSeq uint64
+
+	// ckptMu serializes checkpoints and guards the durability state
+	// below (see checkpoint.go).
+	ckptMu sync.Mutex
+	dir    string // durability directory attached by OpenDurable
+	gen    uint64 // generation of the newest installed checkpoint
 }
 
 // NewDB returns an empty database.

@@ -5,6 +5,7 @@ import (
 	"encoding/base64"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -24,21 +25,42 @@ type snapshot struct {
 	Ordered map[string][]string
 }
 
-// Snapshot writes a point-in-time image of the database. The snapshot
-// holds every table's read lock for its duration, so it is consistent
-// across tables while writes to them proceed afterwards.
+// Snapshot writes a point-in-time image of the database. The capture
+// holds every table's read lock, so it is consistent across tables;
+// the encode itself runs after the locks are released, which is safe
+// because stored rows are immutable — every mutation installs a fresh
+// Row map (see Tx.Update) rather than editing one in place.
 func (db *DB) Snapshot(w io.Writer) error {
 	db.metaMu.RLock()
-	defer db.metaMu.RUnlock()
+	names := db.lockAllTablesShared()
+	snap := db.captureLocked()
+	db.unlockAllTablesShared(names)
+	db.metaMu.RUnlock()
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// lockAllTablesShared read-locks every table in sorted order and
+// returns the locked names. Caller holds metaMu in either mode.
+func (db *DB) lockAllTablesShared() []string {
 	names := db.tableNamesLocked()
 	for _, n := range names {
 		db.tables[n].mu.RLock()
 	}
-	defer func() {
-		for i := len(names) - 1; i >= 0; i-- {
-			db.tables[names[i]].mu.RUnlock()
-		}
-	}()
+	return names
+}
+
+// unlockAllTablesShared releases the locks lockAllTablesShared took.
+func (db *DB) unlockAllTablesShared(names []string) {
+	for i := len(names) - 1; i >= 0; i-- {
+		db.tables[names[i]].mu.RUnlock()
+	}
+}
+
+// captureLocked builds the snapshot value. Caller holds metaMu (in
+// either mode) and at least a read lock on every table. The returned
+// snapshot references the live Row maps, which are never mutated in
+// place, so it stays valid after the locks are dropped.
+func (db *DB) captureLocked() snapshot {
 	snap := snapshot{
 		Rows:    make(map[string][]Row, len(db.tables)),
 		Indexed: make(map[string][]string, len(db.tables)),
@@ -59,7 +81,7 @@ func (db *DB) Snapshot(w io.Writer) error {
 			snap.Ordered[name] = append(snap.Ordered[name], col)
 		}
 	}
-	return gob.NewEncoder(w).Encode(&snap)
+	return snap
 }
 
 // Restore replaces the database contents with a snapshot previously
@@ -69,6 +91,12 @@ func (db *DB) Restore(r io.Reader) error {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("relstore: decoding snapshot: %w", err)
 	}
+	return db.installSnapshot(&snap)
+}
+
+// installSnapshot rebuilds the table set from a decoded snapshot and
+// swaps it in.
+func (db *DB) installSnapshot(snap *snapshot) error {
 	fresh := NewDB()
 	for _, s := range snap.Schemas {
 		if err := fresh.CreateTable(s); err != nil {
@@ -127,14 +155,15 @@ func sortStrings(s []string) {
 }
 
 // WAL is a JSON-lines write-ahead log of committed transactions. Each
-// committed transaction appends its redo records followed by a commit
-// marker; Replay applies only fully committed transactions, so a crash
-// mid-append never replays a torn transaction.
+// committed transaction appends one record carrying its redo entries
+// and a commit marker; Replay applies only fully committed
+// transactions, so a crash mid-append never replays a torn one.
 type WAL struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	f   *os.File
-	seq uint64
+	mu    sync.Mutex
+	w     *bufio.Writer
+	f     *os.File
+	seq   uint64
+	bytes int64 // bytes appended to the current tail file
 }
 
 type walLine struct {
@@ -144,34 +173,92 @@ type walLine struct {
 }
 
 // OpenWAL attaches a write-ahead log file to the database. Subsequent
-// committed transactions append to it.
+// committed transactions append to it. Attaching over an
+// already-attached log fails with ErrWALOpen — silently replacing it
+// would leak the old handle with its unflushed buffer and split the
+// committed history across two files. The sequence counter resumes
+// from the high-water mark of the latest replay, so a restarted
+// station appends strictly increasing Seq values instead of starting
+// over at 1.
 func (db *DB) OpenWAL(path string) error {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("relstore: opening WAL: %w", err)
 	}
 	db.metaMu.Lock()
-	db.wal = &WAL{f: f, w: bufio.NewWriter(f)}
-	db.metaMu.Unlock()
+	defer db.metaMu.Unlock()
+	if db.wal != nil {
+		f.Close()
+		return fmt.Errorf("%w: %s", ErrWALOpen, path)
+	}
+	wal := &WAL{f: f, w: bufio.NewWriter(f), seq: db.lastSeq}
+	if fi, err := f.Stat(); err == nil {
+		wal.bytes = fi.Size()
+	}
+	db.wal = wal
 	return nil
 }
 
-// CloseWAL flushes and detaches the log.
+// CloseWAL flushes and detaches the log, recording the sequence
+// high-water so a later OpenWAL continues the numbering.
 func (db *DB) CloseWAL() error {
 	db.metaMu.Lock()
+	defer db.metaMu.Unlock()
 	wal := db.wal
-	db.wal = nil
-	db.metaMu.Unlock()
 	if wal == nil {
 		return nil
 	}
+	db.wal = nil
 	wal.mu.Lock()
 	defer wal.mu.Unlock()
+	if wal.seq > db.lastSeq {
+		db.lastSeq = wal.seq
+	}
 	if err := wal.w.Flush(); err != nil {
 		wal.f.Close()
 		return err
 	}
 	return wal.f.Close()
+}
+
+// WALTailBytes reports how many bytes the attached log's current tail
+// file holds — the size a background checkpointer watches to bound
+// restart cost.
+func (db *DB) WALTailBytes() int64 {
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
+	if db.wal == nil {
+		return 0
+	}
+	db.wal.mu.Lock()
+	defer db.wal.mu.Unlock()
+	return db.wal.bytes
+}
+
+// LastSeq returns the highest WAL sequence number the database has
+// seen, whether appended through the attached log or observed during
+// replay.
+func (db *DB) LastSeq() uint64 {
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
+	if db.wal != nil {
+		db.wal.mu.Lock()
+		defer db.wal.mu.Unlock()
+		if db.wal.seq > db.lastSeq {
+			return db.wal.seq
+		}
+	}
+	return db.lastSeq
+}
+
+// noteReplaySeq folds a replay's high-water sequence into the counter
+// the next OpenWAL resumes from.
+func (db *DB) noteReplaySeq(seq uint64) {
+	db.metaMu.Lock()
+	if seq > db.lastSeq {
+		db.lastSeq = seq
+	}
+	db.metaMu.Unlock()
 }
 
 // walEncodeValue wraps values whose Go type JSON would erase ([]byte,
@@ -252,33 +339,49 @@ func (w *WAL) append(recs []walRec) error {
 	if err != nil {
 		return fmt.Errorf("relstore: encoding WAL record: %w", err)
 	}
-	if _, err := w.w.Write(append(b, '\n')); err != nil {
+	n, err := w.w.Write(append(b, '\n'))
+	w.bytes += int64(n)
+	if err != nil {
 		return err
 	}
 	return w.w.Flush()
 }
 
-// ReplayWAL applies a write-ahead log produced by a previous process to
-// the database. Values are re-coerced against the live schema because
-// JSON erases Go types. Unknown tables fail the replay.
-func (db *DB) ReplayWAL(r io.Reader) (applied int, err error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	for sc.Scan() {
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
+// ReplayWAL applies a write-ahead log produced by a previous process
+// to the database and reports the committed transactions applied plus
+// the high-water sequence number observed (which OpenWAL resumes
+// from). Values are re-coerced against the live schema because JSON
+// erases Go types. Unknown tables fail the replay.
+//
+// Records are decoded with a json.Decoder, so a single committed
+// transaction — a big ImportBundle batch, say — may be arbitrarily
+// large (the old line scanner refused anything past 64 MiB with
+// bufio.ErrTooLong). A truncated final record is tolerated as the torn
+// tail a crash mid-append leaves behind; garbage that is not a prefix
+// of a valid record still fails the replay.
+func (db *DB) ReplayWAL(r io.Reader) (applied int, maxSeq uint64, err error) {
+	defer func() { db.noteReplaySeq(maxSeq) }()
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
+	for {
 		var line walLine
-		if err := json.Unmarshal(raw, &line); err != nil {
-			return applied, fmt.Errorf("relstore: corrupt WAL line: %w", err)
+		if err := dec.Decode(&line); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				// Every prefix of a valid record truncates to an
+				// unexpected EOF, never to a syntax error, so this is
+				// exactly the torn-tail case.
+				return applied, maxSeq, nil
+			}
+			return applied, maxSeq, fmt.Errorf("relstore: corrupt WAL line: %w", err)
+		}
+		if line.Seq > maxSeq {
+			maxSeq = line.Seq
 		}
 		if !line.Commit {
 			continue
 		}
 		if isDDL(line.Recs) {
 			if err := db.applyDDL(line.Recs[0]); err != nil {
-				return applied, err
+				return applied, maxSeq, err
 			}
 			applied++
 			continue
@@ -288,18 +391,17 @@ func (db *DB) ReplayWAL(r io.Reader) (applied int, err error) {
 		// the order the original wrote them in.
 		tx, err := db.Begin(recTables(line.Recs)...)
 		if err != nil {
-			return applied, err
+			return applied, maxSeq, err
 		}
 		if err := applyRecs(tx, line.Recs); err != nil {
 			tx.Rollback()
-			return applied, err
+			return applied, maxSeq, err
 		}
 		if err := tx.Commit(); err != nil {
-			return applied, err
+			return applied, maxSeq, err
 		}
 		applied++
 	}
-	return applied, sc.Err()
 }
 
 func isDDL(recs []walRec) bool {

@@ -2,10 +2,13 @@ package relstore
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -110,7 +113,7 @@ func TestWALReplayRebuildsDatabase(t *testing.T) {
 	}
 	defer f.Close()
 	db2 := NewDB()
-	applied, err := db2.ReplayWAL(f)
+	applied, _, err := db2.ReplayWAL(f)
 	if err != nil {
 		t.Fatalf("replay failed after %d records: %v", applied, err)
 	}
@@ -164,7 +167,7 @@ func TestWALRollbackLeavesNoTrace(t *testing.T) {
 	}
 	defer f.Close()
 	db2 := NewDB()
-	if _, err := db2.ReplayWAL(f); err != nil {
+	if _, _, err := db2.ReplayWAL(f); err != nil {
 		t.Fatal(err)
 	}
 	if db2.Exists("scripts", "ghost") {
@@ -200,7 +203,7 @@ func TestWALBytesRoundTripExact(t *testing.T) {
 	}
 	defer f.Close()
 	db2 := NewDB()
-	if _, err := db2.ReplayWAL(f); err != nil {
+	if _, _, err := db2.ReplayWAL(f); err != nil {
 		t.Fatal(err)
 	}
 	got, err := db2.Get("impls", "u")
@@ -214,8 +217,205 @@ func TestWALBytesRoundTripExact(t *testing.T) {
 
 func TestReplayCorruptLineFails(t *testing.T) {
 	db := NewDB()
-	if _, err := db.ReplayWAL(bytes.NewReader([]byte("{bad json\n"))); err == nil {
+	if _, _, err := db.ReplayWAL(bytes.NewReader([]byte("{bad json\n"))); err == nil {
 		t.Fatal("expected corrupt-line error")
+	}
+}
+
+// TestReplayToleratesTornTail: a crash mid-append truncates the final
+// record; everything before it must replay cleanly, without an error.
+func TestReplayToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "db.wal")
+	db := NewDB()
+	if err := db.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := courseSchemas()
+	if err := db.CreateTable(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("scripts", Row{"script_name": "whole"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a torn copy of the last record: a prefix cut mid-value.
+	last := bytes.TrimRight(raw, "\n")
+	last = last[bytes.LastIndexByte(last, '\n')+1:]
+	torn := append(append([]byte{}, raw...), last[:len(last)/2]...)
+
+	db2 := NewDB()
+	applied, maxSeq, err := db2.ReplayWAL(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn tail failed the replay: %v", err)
+	}
+	if applied != 2 { // the DDL record and the complete insert
+		t.Errorf("applied = %d, want 2", applied)
+	}
+	if maxSeq != 2 {
+		t.Errorf("maxSeq = %d, want 2", maxSeq)
+	}
+	if !db2.Exists("scripts", "whole") {
+		t.Error("complete record before the torn tail was not replayed")
+	}
+}
+
+// TestReplayUnboundedRecordSize: a single committed transaction beyond
+// the old line scanner's 64 MiB cap (a big ImportBundle batch) must
+// replay instead of failing with bufio.ErrTooLong.
+func TestReplayUnboundedRecordSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a >64 MiB WAL record")
+	}
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "db.wal")
+	db := NewDB()
+	if err := db.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := courseSchemas()
+	if err := db.CreateTable(s); err != nil {
+		t.Fatal(err)
+	}
+	big := strings.Repeat("x", 65<<20)
+	if err := db.Insert("scripts", Row{"script_name": "big", "author": big}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(walPath); err != nil || fi.Size() <= 64<<20 {
+		t.Fatalf("test premise broken: WAL is %v bytes, want > 64 MiB", fi.Size())
+	}
+	f, err := os.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	db2 := NewDB()
+	if _, _, err := db2.ReplayWAL(f); err != nil {
+		t.Fatalf("replay of an oversized record failed: %v", err)
+	}
+	got, err := db2.Get("scripts", "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["author"].(string) != big {
+		t.Error("oversized value corrupted by replay")
+	}
+}
+
+// TestOpenWALSecondAttachFails: attaching a second log must not
+// silently orphan the first one's handle and buffered records.
+func TestOpenWALSecondAttachFails(t *testing.T) {
+	dir := t.TempDir()
+	first := filepath.Join(dir, "first.wal")
+	db := NewDB()
+	if err := db.OpenWAL(first); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := courseSchemas()
+	if err := db.CreateTable(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.OpenWAL(filepath.Join(dir, "second.wal")); !errors.Is(err, ErrWALOpen) {
+		t.Fatalf("second OpenWAL err = %v, want ErrWALOpen", err)
+	}
+	// The original log keeps working and keeps every record.
+	if err := db.Insert("scripts", Row{"script_name": "after"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	db2 := NewDB()
+	if _, _, err := db2.ReplayWAL(f); err != nil {
+		t.Fatal(err)
+	}
+	if !db2.Exists("scripts", "after") {
+		t.Error("write after the refused re-attach is missing from the first log")
+	}
+}
+
+// TestReopenedWALResumesSeq: a restarted station replaying its log and
+// appending to the same file must continue the sequence numbering, not
+// restart it at 1.
+func TestReopenedWALResumesSeq(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "db.wal")
+	db := NewDB()
+	if err := db.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := courseSchemas()
+	if err := db.CreateTable(s); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := db.Insert("scripts", Row{"script_name": fmt.Sprintf("a%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restart: replay, then append to the same file.
+	db2 := NewDB()
+	f, err := os.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, maxSeq, err := db2.ReplayWAL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeq != 4 { // 1 DDL + 3 inserts
+		t.Fatalf("replay high-water = %d, want 4", maxSeq)
+	}
+	if err := db2.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := db2.Insert("scripts", Row{"script_name": fmt.Sprintf("b%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db2.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	for _, line := range bytes.Split(bytes.TrimRight(raw, "\n"), []byte("\n")) {
+		var rec struct {
+			Seq uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Seq <= prev {
+			t.Fatalf("seq %d after %d: reopened WAL does not continue monotonically", rec.Seq, prev)
+		}
+		prev = rec.Seq
+	}
+	if prev != 6 {
+		t.Errorf("final seq = %d, want 6", prev)
 	}
 }
 
@@ -279,7 +479,7 @@ func TestQuickWALReplayEquivalence(t *testing.T) {
 		}
 		defer f.Close()
 		db2 := NewDB()
-		if _, err := db2.ReplayWAL(f); err != nil {
+		if _, _, err := db2.ReplayWAL(f); err != nil {
 			return false
 		}
 		for _, table := range []string{"scripts", "impls"} {

@@ -117,6 +117,7 @@ var (
 	ErrTxDone      = errors.New("relstore: transaction already finished")
 	ErrKeyChange   = errors.New("relstore: primary key of a row cannot be updated")
 	ErrLockOrder   = errors.New("relstore: table locks must be acquired in sorted order")
+	ErrWALOpen     = errors.New("relstore: a write-ahead log is already attached")
 )
 
 // validate checks the schema for structural problems.

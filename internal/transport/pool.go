@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 )
@@ -143,6 +144,42 @@ func (p *Pool) CallWithTimeout(method string, req, resp any, d time.Duration) er
 		fresh.Close()
 	}
 	return err
+}
+
+// CallStream invokes a streamed-response method (the server handler
+// returned an io.Reader) through a pooled connection, writing the
+// chunks to w and returning the byte count. The pool's timeout bounds
+// each frame's arrival, not the whole transfer, so a multi-gigabyte
+// catch-up stream survives as long as bytes keep flowing. A stale idle
+// connection is retried once, but only while nothing has been written
+// to w yet — a partial stream is never silently restarted.
+func (p *Pool) CallStream(method string, req any, w io.Writer) (int64, error) {
+	p.slots <- struct{}{}
+	defer func() { <-p.slots }()
+	c, fromIdle, err := p.get()
+	if err != nil {
+		return 0, err
+	}
+	n, err, reusable := c.doStream(method, req, w, p.timeout)
+	if reusable {
+		p.put(c)
+		return n, err
+	}
+	c.Close()
+	if !fromIdle || n > 0 || errors.Is(err, ErrTimeout) {
+		return n, err
+	}
+	fresh, dialErr := p.dial()
+	if dialErr != nil {
+		return n, dialErr
+	}
+	n, err, reusable = fresh.doStream(method, req, w, p.timeout)
+	if reusable {
+		p.put(fresh)
+	} else {
+		fresh.Close()
+	}
+	return n, err
 }
 
 // get pops an idle connection (reporting that it did) or dials a fresh

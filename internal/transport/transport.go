@@ -24,6 +24,13 @@ const (
 	// MaxFrame bounds a single message; bundles with full-size video
 	// fit comfortably.
 	MaxFrame = 256 << 20
+
+	// StreamChunk is the body size of one streamed-response frame. A
+	// handler that returns an io.Reader has its bytes relayed in
+	// chunks of this size (see Client.CallStream), so arbitrarily
+	// large payloads — checkpoint images crossing the wire during
+	// rejoin catch-up — never need a single arbitrarily large frame.
+	StreamChunk = 1 << 20
 )
 
 // Transport errors.
@@ -53,11 +60,15 @@ func Unreachable(err error) bool {
 	return errors.As(err, &ne)
 }
 
-// envelope is the wire message.
+// envelope is the wire message. More marks a streamed-response chunk:
+// the response continues in further frames with the same ID, and the
+// stream ends with a frame whose More is false (or whose Err reports a
+// mid-stream failure).
 type envelope struct {
 	ID     uint64
 	Method string
 	IsResp bool
+	More   bool
 	Err    string
 	Body   []byte
 }
@@ -212,6 +223,12 @@ func (s *Server) serveConn(conn net.Conn) {
 				out, err := h(func(v any) error { return Unmarshal(env.Body, v) })
 				if err != nil {
 					resp.Err = err.Error()
+				} else if r, streamed := out.(io.Reader); streamed {
+					// A handler returning a reader streams its bytes
+					// in StreamChunk frames; the caller receives them
+					// through CallStream.
+					streamResponse(conn, &writeMu, env, r)
+					return
 				} else if out != nil {
 					body, err := Marshal(out)
 					if err != nil {
@@ -225,6 +242,40 @@ func (s *Server) serveConn(conn net.Conn) {
 			defer writeMu.Unlock()
 			writeFrame(conn, resp) // a write failure also ends the reader
 		}(env)
+	}
+}
+
+// streamResponse relays a handler's reader to the caller as a chunk
+// sequence: zero or more More-flagged frames followed by a bare final
+// frame (or an Err frame on a mid-stream read failure). The reader is
+// closed when it implements io.Closer. Each chunk is encoded under the
+// connection's write lock, so chunks from concurrent handlers
+// interleave at frame granularity without corruption.
+func streamResponse(conn net.Conn, writeMu *sync.Mutex, env *envelope, r io.Reader) {
+	if c, ok := r.(io.Closer); ok {
+		defer c.Close()
+	}
+	send := func(resp *envelope) bool {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return writeFrame(conn, resp) == nil
+	}
+	buf := make([]byte, StreamChunk)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if !send(&envelope{ID: env.ID, Method: env.Method, IsResp: true, More: true, Body: buf[:n]}) {
+				return
+			}
+		}
+		switch {
+		case errors.Is(err, io.EOF):
+			send(&envelope{ID: env.ID, Method: env.Method, IsResp: true})
+			return
+		case err != nil:
+			send(&envelope{ID: env.ID, Method: env.Method, IsResp: true, Err: err.Error()})
+			return
+		}
 	}
 }
 
@@ -285,7 +336,9 @@ func (c *Client) readLoop() {
 		}
 		c.mu.Lock()
 		ch, ok := c.pending[env.ID]
-		if ok {
+		if ok && !env.More {
+			// A More chunk keeps the correlation entry alive; the
+			// stream's final (or error) frame retires it.
 			delete(c.pending, env.ID)
 		}
 		c.mu.Unlock()
@@ -369,6 +422,114 @@ func (c *Client) do(method string, req, resp any, d time.Duration) (error, bool)
 		delete(c.pending, id)
 		c.mu.Unlock()
 		return fmt.Errorf("%w: %s after %v", ErrTimeout, method, d), false
+	}
+}
+
+// CallStream invokes a method whose response is a byte stream (the
+// server handler returned an io.Reader): chunks are written to w as
+// they arrive and the total byte count returned. d bounds the wait for
+// each frame, not the whole transfer (zero or negative means no
+// deadline). The consumer applies backpressure to the connection —
+// start large pulls on their own pooled connection, as Pool.CallStream
+// does.
+func (c *Client) CallStream(method string, req any, w io.Writer, d time.Duration) (int64, error) {
+	n, err, _ := c.doStream(method, req, w, d)
+	return n, err
+}
+
+// doStream runs one streamed call, additionally reporting whether the
+// connection remains trustworthy for reuse (the stream ended with the
+// server's final frame, even an error frame).
+func (c *Client) doStream(method string, req any, w io.Writer, d time.Duration) (int64, error, bool) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClosed, false
+	}
+	c.nextID++
+	id := c.nextID
+	// Chunks buffer ahead of the consumer; a full buffer blocks the
+	// read loop, which is the backpressure.
+	ch := make(chan *envelope, 16)
+	c.pending[id] = ch
+	c.mu.Unlock()
+	drop := func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+	}
+	// abandon gives up on a stream that is still arriving (consumer
+	// write failure, inactivity timeout). The correlation entry stays
+	// registered and a drainer consumes the remaining chunks: the read
+	// loop may already be blocked sending into the full buffer, and
+	// deleting the entry would strand that send — wedging every call
+	// on this connection — so the entry is only retired by the
+	// stream's own final frame or by connection teardown (which closes
+	// the channel).
+	abandon := func() {
+		go func() {
+			for env := range ch {
+				if !env.More {
+					return
+				}
+			}
+		}()
+	}
+
+	body, err := Marshal(req)
+	if err != nil {
+		drop()
+		return 0, err, true
+	}
+	env := &envelope{ID: id, Method: method, Body: body}
+	c.writeMu.Lock()
+	err = writeFrame(c.conn, env)
+	c.writeMu.Unlock()
+	if err != nil {
+		drop()
+		return 0, err, false
+	}
+
+	var timer *time.Timer
+	var timeout <-chan time.Time
+	if d > 0 {
+		timer = time.NewTimer(d)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	var total int64
+	for {
+		select {
+		case got, ok := <-ch:
+			if !ok {
+				return total, fmt.Errorf("%w: %v", ErrClosed, c.err()), false
+			}
+			if got.Err != "" {
+				return total, errors.New(got.Err), true
+			}
+			if len(got.Body) > 0 {
+				n, werr := w.Write(got.Body)
+				total += int64(n)
+				if werr != nil {
+					if got.More {
+						abandon()
+					}
+					return total, werr, false
+				}
+			}
+			if !got.More {
+				return total, nil, true
+			}
+			if timer != nil {
+				if !timer.Stop() {
+					<-timer.C
+				}
+				timer.Reset(d)
+			}
+		case <-timeout:
+			abandon()
+			return total, fmt.Errorf("%w: %s after %v of stream silence", ErrTimeout, method, d), false
+		}
 	}
 }
 
