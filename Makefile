@@ -21,16 +21,20 @@ test:
 
 # Besides the locking stress tests, this job carries the persistence
 # crash matrix: checkpoint + WAL-tail recovery, kill-mid-checkpoint
-# fallback, torn-tail replay and BLOB-sidecar generation coupling.
+# fallback, torn-tail replay, BLOB-sidecar generation coupling, and
+# the content index's sidecar/rebuild recovery (missing, stale and
+# corrupt search-<gen> files) plus its concurrent index/query stress.
 race:
-	$(GO) test -race ./internal/relstore/... ./internal/docdb/...
+	$(GO) test -race ./internal/relstore/... ./internal/docdb/... ./internal/search/...
 
 # The live distribution layer under the race detector: the in-process
-# multi-station fabric (including the 13-station failure/repair run
-# and the streamed catch-up parity tests), the station RPC node, the
-# pooled transport with chunked response streaming, and the subprocess
-# crash tests (SIGKILL mid-broadcast + rejoin, SIGKILL after a
-# checkpoint, legacy-WAL migration) against real webdocd processes.
+# multi-station fabric (including the 13-station failure/repair run,
+# the streamed catch-up parity tests and the scatter-gather search
+# parity run with a killed interior station), the station RPC node,
+# the pooled transport with chunked response streaming, and the
+# subprocess crash tests (SIGKILL mid-broadcast + rejoin, SIGKILL
+# after a checkpoint, SIGKILL before the search sidecar installs,
+# legacy-WAL migration) against real webdocd processes.
 race-fabric:
 	$(GO) test -race ./internal/fabric/... ./internal/cluster/... ./internal/transport/... ./cmd/webdocd/...
 

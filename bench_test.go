@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/mtree"
 	"repro/internal/netsim"
 	"repro/internal/relstore"
+	"repro/internal/search"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -354,6 +356,127 @@ func benchLibrary(b *testing.B, size int) (*library.Library, []library.Query) {
 		queries[i] = library.Query{Keywords: workload.PickKeywords(rng, vocab, 2)}
 	}
 	return lib, queries
+}
+
+// ---------------------------------------------------------------------------
+// Full-text search benchmarks: the positional inverted index against
+// the linear scan baseline on a 10k-document corpus, and the
+// federation-wide scatter-gather across fabric sizes and tree degrees.
+// ---------------------------------------------------------------------------
+
+// benchSearchCorpus builds a 2000-word-vocabulary corpus of HTML pages
+// and a deterministic query mix.
+func benchSearchCorpus(b *testing.B, docs int) (*search.Index, []search.Query) {
+	b.Helper()
+	ix := search.NewIndex()
+	vocab := workload.Vocabulary(2000)
+	rng := rand.New(rand.NewSource(11))
+	var sb strings.Builder
+	for i := 0; i < docs; i++ {
+		sb.Reset()
+		sb.WriteString("<html><body>")
+		for w := 0; w < 40; w++ {
+			sb.WriteString(vocab[rng.Intn(len(vocab))])
+			sb.WriteByte(' ')
+		}
+		sb.WriteString("</body></html>")
+		ix.IndexHTML(fmt.Sprintf("http://mmu/c%05d/v1", i), "index.html", []byte(sb.String()))
+	}
+	queries := make([]search.Query, 64)
+	for i := range queries {
+		queries[i] = search.Query{
+			Terms: []string{vocab[rng.Intn(len(vocab))], vocab[rng.Intn(len(vocab))]},
+			TopK:  20,
+		}
+	}
+	return ix, queries
+}
+
+// BenchmarkSearchLocal pins the inverted index against the scan
+// baseline at 10k documents — the acceptance floor is a 10x gap.
+func BenchmarkSearchLocal(b *testing.B) {
+	ix, queries := benchSearchCorpus(b, 10000)
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix.Search(queries[i%len(queries)])
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix.ScanSearch(queries[i%len(queries)])
+		}
+	})
+}
+
+// BenchmarkSearchFabric measures one federation-wide query issued at
+// the deepest station across fabric sizes and tree degrees: forward to
+// the root, scatter down the m-ary tree, per-hop top-k merge back up.
+func BenchmarkSearchFabric(b *testing.B) {
+	for _, cfg := range []struct{ stations, m int }{
+		{5, 2}, {9, 3}, {13, 3},
+	} {
+		b.Run(fmt.Sprintf("stations=%d/m=%d", cfg.stations, cfg.m), func(b *testing.B) {
+			newStore := func() *docdb.Store {
+				store, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := search.Attach(store); err != nil {
+					b.Fatal(err)
+				}
+				return store
+			}
+			seed := func(store *docdb.Store, pos int) {
+				if err := store.CreateDatabase(docdb.Database{Name: "mmu"}); err != nil {
+					b.Fatal(err)
+				}
+				script := fmt.Sprintf("local-%03d", pos)
+				url := fmt.Sprintf("http://mmu/local-%03d/v1", pos)
+				if err := store.CreateScript(docdb.Script{Name: script, DBName: "mmu"}); err != nil {
+					b.Fatal(err)
+				}
+				if err := store.AddImplementation(docdb.Implementation{StartingURL: url, ScriptName: script}); err != nil {
+					b.Fatal(err)
+				}
+				page := fmt.Sprintf("<body>federated corpus shard %d</body>", pos)
+				if err := store.PutHTML(url, "index.html", []byte(page)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rootStore := newStore()
+			seed(rootStore, 1)
+			root, err := fabric.NewRoot(rootStore, "127.0.0.1:0", cfg.m, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer root.Close()
+			var leaf *fabric.Station
+			for i := 2; i <= cfg.stations; i++ {
+				store := newStore()
+				seed(store, i)
+				st, err := fabric.Join(store, "127.0.0.1:0", root.Addr())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer st.Close()
+				leaf = st
+			}
+			query := search.Query{Terms: []string{"corpus"}, TopK: 10}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reply, err := leaf.Search(query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(reply.Hits) == 0 {
+					b.Fatal("no hits")
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkLockingHierarchical(b *testing.B) {

@@ -15,6 +15,7 @@
 //	webdocctl -addr 127.0.0.1:7070 migrate http://mmu/course-001/v1
 //	webdocctl -addr 127.0.0.1:7070 health
 //	webdocctl -addr 127.0.0.1:7070 evict 3
+//	webdocctl -addr 127.0.0.1:7072 -k 5 search watermark frequency
 //
 // "pull URL TARGET" copies a document bundle from the -addr station to
 // the TARGET station (pre-broadcast of a single document by hand). The
@@ -39,6 +40,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "station address")
 	refsOnly := flag.Bool("refs", false, "broadcast: push document references instead of full instances")
+	topK := flag.Int("k", 10, "search: maximum hits to return")
+	phrase := flag.Bool("phrase", false, "search: require the terms as a consecutive phrase")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -48,8 +51,8 @@ func main() {
 	// The fabric verbs use the typed administrative client; everything
 	// else speaks the base station protocol.
 	switch args[0] {
-	case "topology", "broadcast", "resolve", "migrate", "health", "evict":
-		runFabric(*addr, args, *refsOnly)
+	case "topology", "broadcast", "resolve", "migrate", "health", "evict", "search":
+		runFabric(*addr, args, *refsOnly, *topK, *phrase)
 		return
 	}
 
@@ -115,10 +118,42 @@ func main() {
 }
 
 // runFabric executes one distribution-fabric verb against a station.
-func runFabric(addr string, args []string, refsOnly bool) {
+func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool) {
 	admin := fabric.DialAdmin(addr)
 	defer admin.Close()
 	switch args[0] {
+	case "search":
+		if len(args) < 2 {
+			usage()
+		}
+		res, err := admin.Search(args[1:], phrase, topK)
+		if err != nil {
+			fail("search: %v", err)
+		}
+		dead := 0
+		for _, sr := range res.Stations {
+			if sr.Err != "" {
+				dead++
+			}
+		}
+		fmt.Printf("%d hit(s) from %d station(s), %d unreachable\n",
+			len(res.Hits), len(res.Stations)-dead, dead)
+		for _, h := range res.Hits {
+			switch h.Kind {
+			case "script":
+				fmt.Printf("  %-8d catalog  %s @station %d\n", h.Score, h.Path, h.Station)
+			default:
+				fmt.Printf("  %-8d %-8s %s %s @station %d\n", h.Score, h.Kind, h.URL, h.Path, h.Station)
+			}
+			if h.Snippet != "" {
+				fmt.Printf("           ... %s ...\n", h.Snippet)
+			}
+		}
+		for _, sr := range res.Stations {
+			if sr.Err != "" {
+				fmt.Printf("  station %-3d UNREACHABLE %s\n", sr.Pos, sr.Err)
+			}
+		}
 	case "topology":
 		top, err := admin.Topology()
 		if err != nil {
@@ -301,7 +336,8 @@ commands:
   resolve URL          make the station pull the document up its parent route
   migrate URL          post-lecture migration back to references (root)
   health               show per-station liveness (root view is authoritative)
-  evict POS            force-mark a station dead on the root (heartbeats revive it if it still answers)`)
+  evict POS            force-mark a station dead on the root (heartbeats revive it if it still answers)
+  search TERM...       federation-wide full-text query ([-k N] hits, [-phrase] exact phrase)`)
 	os.Exit(2)
 }
 

@@ -60,6 +60,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/library"
 	"repro/internal/relstore"
+	"repro/internal/search"
 	"repro/internal/webui"
 	"repro/internal/workload"
 )
@@ -100,6 +101,12 @@ func main() {
 	store, err := docdb.Open(rel, blobs)
 	if err != nil {
 		log.Fatalf("webdocd: opening store: %v", err)
+	}
+	// The content index attaches before recovery so a restart can
+	// restore it from the search-<gen> sidecar (or rebuild it from the
+	// recovered rows); from here on the write hooks keep it current.
+	if _, err := search.Attach(store); err != nil {
+		log.Fatalf("webdocd: attaching content index: %v", err)
 	}
 	dir := *dataDir
 	if dir == "" && *walPath != "" {
@@ -147,6 +154,7 @@ func main() {
 		bound      string
 		stationPos int
 		stop       func() error
+		station    *fabric.Station // non-nil in fabric mode
 	)
 	switch {
 	case *root:
@@ -163,7 +171,7 @@ func main() {
 				log.Fatalf("webdocd: starting heartbeat: %v", err)
 			}
 		}
-		bound, stationPos, stop = st.Addr(), st.Pos(), st.Close
+		bound, stationPos, stop, station = st.Addr(), st.Pos(), st.Close, st
 		fmt.Printf("webdocd: station %d serving on %s (fabric root, m=%d, watermark=%d)\n",
 			stationPos, bound, *degree, *watermark)
 	case *joinAddr != "":
@@ -191,7 +199,7 @@ func main() {
 					res.References, len(res.Resolved), res.Migrated)
 			}
 		}
-		bound, stationPos, stop = st.Addr(), st.Pos(), st.Close
+		bound, stationPos, stop, station = st.Addr(), st.Pos(), st.Close, st
 		fmt.Printf("webdocd: station %d serving on %s (joined fabric via %s)\n",
 			stationPos, bound, *joinAddr)
 	default:
@@ -208,6 +216,18 @@ func main() {
 
 	if *httpAddr != "" {
 		ui := webui.New(lib, store)
+		if station != nil {
+			// Fabric stations offer the federated full-text mode: the
+			// query rides to the root and scatter-gathers the tree.
+			st := station
+			ui.Federated = func(q search.Query) ([]search.Hit, error) {
+				reply, err := st.Search(q)
+				if err != nil {
+					return nil, err
+				}
+				return reply.Hits, nil
+			}
+		}
 		go func() {
 			log.Printf("webdocd: virtual library UI on http://%s/", *httpAddr)
 			if err := http.ListenAndServe(*httpAddr, ui); err != nil {

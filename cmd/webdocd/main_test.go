@@ -537,6 +537,66 @@ func TestChaosKilledStationsMidBroadcastRejoin(t *testing.T) {
 // TestDaemonFabricWalkthrough runs the README's three-station
 // deployment end to end through real processes: a root, two joiners, a
 // broadcast, a resolve and a migration.
+// TestSIGKILLBeforeSearchSidecarRebuildsIdenticalIndex extends the
+// crash matrix to the content index: the checkpoint protocol installs
+// search-<gen> only AFTER the relational snapshot renames, so a
+// SIGKILL between the two leaves a generation whose index sidecar is
+// missing. The restart must rebuild the index from the recovered rows
+// and answer full-text queries exactly as the pre-kill daemon did.
+func TestSIGKILLBeforeSearchSidecarRebuildsIdenticalIndex(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := daemonBinary(t)
+	dir := filepath.Join(t.TempDir(), "station.d")
+
+	addr, cmd := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-data", dir, "-seed-course", "4")
+	rs, err := cluster.DialStation(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := rs.SearchLocal([]string{"lecture", "material"}, false, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 {
+		t.Fatal("seeded daemon answers no full-text hits")
+	}
+	ckpt, err := rs.Checkpoint()
+	rs.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL, then reproduce the crash point on disk: the snapshot
+	// installed, the search sidecar did not.
+	cmd.Process.Kill()
+	cmd.Wait()
+	sidecar := filepath.Join(dir, fmt.Sprintf("search-%010d", ckpt.Gen))
+	if err := os.Remove(sidecar); err != nil {
+		t.Fatalf("removing search sidecar: %v", err)
+	}
+
+	addr2, _ := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-data", dir, "-seed-course", "4")
+	rs2, err := cluster.DialStation(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs2.Close()
+	after, err := rs2.SearchLocal([]string{"lecture", "material"}, false, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("rebuilt index answers %d hits, want %d", len(after), len(before))
+	}
+	for i := range after {
+		if after[i].Key != before[i].Key || after[i].Score != before[i].Score || after[i].Snippet != before[i].Snippet {
+			t.Errorf("hit %d differs after rebuild: %+v vs %+v", i, after[i], before[i])
+		}
+	}
+}
+
 func TestDaemonFabricWalkthrough(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess test")
@@ -582,6 +642,26 @@ func TestDaemonFabricWalkthrough(t *testing.T) {
 		}
 		if len(reply.Rows) == 0 {
 			t.Errorf("station %s holds no pages after broadcast", a)
+		}
+	}
+	// A federation-wide full-text query issued at a leaf daemon answers
+	// with the course pages, deduplicated across the three replicas and
+	// credited to the lowest-positioned holder.
+	leaf := fabric.DialAdmin(addr2)
+	defer leaf.Close()
+	found, err := leaf.Search([]string{"lecture", "material"}, false, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found.Hits) != 3 {
+		t.Errorf("federated search hits = %+v", found.Hits)
+	}
+	for _, h := range found.Hits {
+		if h.Station != 1 {
+			t.Errorf("hit %s credited to station %d, want 1", h.Key, h.Station)
+		}
+		if h.Snippet == "" {
+			t.Errorf("hit %s carries no snippet", h.Key)
 		}
 	}
 	mig, err := admin.EndLecture(spec.URL)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/relstore"
 	"repro/internal/schema"
+	"repro/internal/search"
 	"repro/internal/workload"
 )
 
@@ -53,10 +54,13 @@ type Config struct {
 }
 
 // Station is one workstation: its own document database and BLOB store
-// plus the distribution bookkeeping.
+// plus the distribution bookkeeping. Every station carries a content
+// index (internal/search) kept current by the store's write hooks, so
+// the simulator can model federation-wide full-text queries.
 type Station struct {
 	Pos     int
 	Store   *docdb.Store
+	Index   *search.Index
 	fetches map[string]int // starting URL -> remote retrievals so far
 }
 
@@ -91,9 +95,14 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		store.Now = func() time.Time { return base.Add(sim.Now()) }
+		idx, err := search.Attach(store)
+		if err != nil {
+			return nil, err
+		}
 		c.stations = append(c.stations, &Station{
 			Pos:     pos,
 			Store:   store,
+			Index:   idx,
 			fetches: make(map[string]int),
 		})
 	}

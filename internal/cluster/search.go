@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/search"
+)
+
+// Simulated federation-wide full-text search: the discrete-event model
+// of the live fabric's scatter-gather (fabric.Station.Search), so the
+// real implementation's results can be pinned against controlled
+// simulated time — the same methodology PRs 2–4 used for broadcast,
+// resolve, migration and catch-up. The requesting station sends the
+// query to the root (one transfer), the root scatters it down the
+// m-ary tree (one small request transfer per edge), every station
+// answers from its local content index, and each hop merges its
+// subtree's hits into one bounded top-k set before the reply travels
+// back up — so an edge carries at most TopK hits no matter how large
+// the subtree below it is. Down stations are grafted around with the
+// same liveChildren rule the resilient broadcast uses: their subtrees
+// stay covered, their local hits are lost until they rejoin.
+
+// Cost model of one scatter-gather hop: a query is a small fixed
+// message; a reply costs a fixed overhead plus a bounded per-hit
+// share.
+const (
+	searchRequestBytes = 256
+	searchHitBytes     = 256
+)
+
+// searchReplyBytes sizes a reply message carrying n hits.
+func searchReplyBytes(n int) int64 {
+	return searchRequestBytes + int64(n)*searchHitBytes
+}
+
+// SearchReport summarizes one simulated federation query.
+type SearchReport struct {
+	Hits []search.Hit
+	// Latency is the simulated time from issuing the query at the
+	// requesting station to the merged reply arriving back there.
+	Latency time.Duration
+	// Answered counts the stations whose local index contributed to the
+	// gather (down stations are covered but cannot answer).
+	Answered int
+	// WireBytes is the total traffic the query moved.
+	WireBytes int64
+}
+
+// localHits queries one simulated station's index, stamping the
+// station position into the hits.
+func (st *Station) localHits(q search.Query) []search.Hit {
+	hits := st.Index.Search(q)
+	for i := range hits {
+		hits[i].Station = st.Pos
+	}
+	return hits
+}
+
+// SearchFederated answers a full-text query issued at a station,
+// modeling the scatter-gather over the simulated network. The
+// requesting station must be live; the root cannot fail (the same
+// assumption the rest of the simulator makes).
+func (c *Cluster) SearchFederated(pos int, q search.Query) (*SearchReport, error) {
+	st, err := c.Station(pos)
+	if err != nil {
+		return nil, err
+	}
+	if c.down[pos] {
+		return nil, fmt.Errorf("%w: station %d is down", ErrNoStation, pos)
+	}
+	// Term-less queries match nothing; skip the scatter entirely, as
+	// the live fabric does.
+	if len(search.NormalizeTerms(q.Terms)) == 0 {
+		return &SearchReport{}, nil
+	}
+	start := c.sim.Now()
+	bytesBefore := c.sim.Stats().TotalBytes
+	rep := &SearchReport{}
+	var failure error
+
+	// gather answers for one station and its (live-grafted) subtree,
+	// delivering the merged top-k set and the completion time.
+	var gather func(p int, done func(hits []search.Hit, at time.Duration))
+	gather = func(p int, done func([]search.Hit, time.Duration)) {
+		local := c.stations[p-1].localHits(q)
+		rep.Answered++
+		kids, err := c.liveChildren(p)
+		if err != nil {
+			failure = err
+			done(nil, c.sim.Now())
+			return
+		}
+		if len(kids) == 0 {
+			done(local, c.sim.Now())
+			return
+		}
+		lists := [][]search.Hit{local}
+		pending := len(kids)
+		var latest time.Duration
+		for _, kid := range kids {
+			kid := kid
+			err := c.sim.Transfer(c.ids[p-1], c.ids[kid-1], searchRequestBytes, func(time.Duration) {
+				gather(kid, func(kidHits []search.Hit, _ time.Duration) {
+					err := c.sim.Transfer(c.ids[kid-1], c.ids[p-1], searchReplyBytes(len(kidHits)), func(at time.Duration) {
+						lists = append(lists, kidHits)
+						if at > latest {
+							latest = at
+						}
+						pending--
+						if pending == 0 {
+							done(search.Merge(q.TopK, lists...), latest)
+						}
+					})
+					if err != nil {
+						failure = err
+					}
+				})
+			})
+			if err != nil {
+				failure = err
+				return
+			}
+		}
+	}
+
+	finish := func(hits []search.Hit, at time.Duration) {
+		rep.Hits = hits
+		rep.Latency = at - start
+	}
+	if pos == 1 {
+		gather(1, finish)
+	} else {
+		// The query rides to the root first: any station can issue a
+		// federation query for the cost of one round trip to the root
+		// plus the tree's O(depth) scatter-gather.
+		err := c.sim.Transfer(c.ids[st.Pos-1], c.ids[0], searchRequestBytes, func(time.Duration) {
+			gather(1, func(hits []search.Hit, _ time.Duration) {
+				err := c.sim.Transfer(c.ids[0], c.ids[st.Pos-1], searchReplyBytes(len(hits)), func(at time.Duration) {
+					finish(hits, at)
+				})
+				if err != nil {
+					failure = err
+				}
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.sim.Run()
+	if failure != nil {
+		return nil, failure
+	}
+	rep.WireBytes = c.sim.Stats().TotalBytes - bytesBefore
+	return rep, nil
+}

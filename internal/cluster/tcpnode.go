@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/docdb"
 	"repro/internal/minisql"
+	"repro/internal/search"
 	"repro/internal/transport"
 )
 
@@ -50,6 +51,18 @@ type SQLRequest struct {
 	Stmt string
 }
 
+// SearchLocalRequest queries one station's content index.
+type SearchLocalRequest struct {
+	Terms  []string
+	Phrase bool
+	TopK   int
+}
+
+// SearchLocalReply carries the station's ranked hits.
+type SearchLocalReply struct {
+	Hits []search.Hit
+}
+
 // CheckpointReply reports a checkpoint generation the station wrote on
 // request.
 type CheckpointReply struct {
@@ -78,6 +91,7 @@ func NewNode(pos int, store *docdb.Store) *Node {
 	n.srv.Handle("Import", n.handleImport)
 	n.srv.Handle("SQL", n.handleSQL)
 	n.srv.Handle("Checkpoint", n.handleCheckpoint)
+	n.srv.Handle("SearchLocal", n.handleSearchLocal)
 	return n
 }
 
@@ -175,6 +189,28 @@ func (n *Node) handleCheckpoint(decode func(any) error) (any, error) {
 	return CheckpointReply{Gen: info.Gen, Seq: info.Seq, Bytes: info.Bytes, Snapshot: info.Snapshot}, nil
 }
 
+// handleSearchLocal answers a full-text query from this station's
+// content index alone — the base-station extension point the
+// distribution fabric's scatter-gather search builds on, also useful
+// for administrative "what does THIS station hold" queries. The index
+// arrives through docdb's ContentIndex attachment (search.Attach); a
+// station running without one answers with an error.
+func (n *Node) handleSearchLocal(decode func(any) error) (any, error) {
+	var req SearchLocalRequest
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	ix, ok := n.Store.ContentIndex().(search.Searcher)
+	if !ok {
+		return nil, fmt.Errorf("cluster: station %d has no content index attached", n.Pos())
+	}
+	hits := ix.Search(search.Query{Terms: req.Terms, Phrase: req.Phrase, TopK: req.TopK})
+	for i := range hits {
+		hits[i].Station = n.Pos()
+	}
+	return SearchLocalReply{Hits: hits}, nil
+}
+
 func (n *Node) handleSQL(decode func(any) error) (any, error) {
 	var req SQLRequest
 	if err := decode(&req); err != nil {
@@ -254,4 +290,11 @@ func (r *RemoteStation) Checkpoint() (CheckpointReply, error) {
 	var reply CheckpointReply
 	err := r.c.Call("Checkpoint", struct{}{}, &reply)
 	return reply, err
+}
+
+// SearchLocal queries the station's own content index.
+func (r *RemoteStation) SearchLocal(terms []string, phrase bool, topK int) ([]search.Hit, error) {
+	var reply SearchLocalReply
+	err := r.c.Call("SearchLocal", SearchLocalRequest{Terms: terms, Phrase: phrase, TopK: topK}, &reply)
+	return reply.Hits, err
 }

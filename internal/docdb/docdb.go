@@ -34,12 +34,68 @@ type Store struct {
 	blobs *blob.Store
 	seq   atomic.Uint64
 
+	// idx holds the attached ContentIndex (nil until SetContentIndex).
+	idx atomic.Value
+
 	// durDir is the durability directory Recover attached ("" for an
 	// in-memory store); set once at startup, before the store serves.
 	durDir string
 
 	// Now supplies timestamps; replace it in tests for determinism.
 	Now func() time.Time
+}
+
+// ContentIndex is the full-text hook surface a station's search index
+// (internal/search) implements. The store notifies it after every
+// committed content write — PutHTML/PutProgram, bundle and reference
+// imports, the structure copies behind Instantiate, and the drops
+// behind migration and deletes — and couples it into the checkpoint
+// protocol: CaptureCheckpoint runs inside the write-quiescent window
+// (the bytes land as a search-<gen> sidecar after the snapshot
+// installs) and RecoverCheckpoint runs after a relational recovery
+// with whatever sidecar survived, so the index either restores or
+// rebuilds from the tables. The methods must be safe for concurrent
+// use; the index is a cache and must never fail a write.
+type ContentIndex interface {
+	IndexHTML(url, path string, content []byte)
+	IndexProgram(url, path, language string, content []byte)
+	IndexScript(name, description, author string, keywords []string)
+	RemoveContent(url string)
+	RemoveScript(name string)
+	// CaptureCheckpoint snapshots the index cheaply (the call runs
+	// inside the write-quiescent window, so it must not stall writers
+	// longer than a map copy); the returned closure serializes the
+	// captured state and is invoked after the window closes.
+	CaptureCheckpoint() func() ([]byte, error)
+	RecoverCheckpoint(sidecar []byte, rel *relstore.DB, tailApplied int) error
+}
+
+// SetContentIndex attaches the station's content index. Attach once,
+// before the store serves traffic and before Recover (so recovery can
+// restore the index beside the rows).
+func (s *Store) SetContentIndex(ix ContentIndex) error {
+	if ix == nil {
+		return errors.New("docdb: nil content index")
+	}
+	if !s.idx.CompareAndSwap(nil, ix) {
+		return errors.New("docdb: content index already attached")
+	}
+	return nil
+}
+
+// ContentIndex returns the attached content index, nil when none.
+func (s *Store) ContentIndex() ContentIndex {
+	ix, _ := s.idx.Load().(ContentIndex)
+	return ix
+}
+
+// noteScript tells the index about a created (or imported) script.
+// Call it from a CommitThen/ApplyThen hook, so the indexing is atomic
+// with the commit.
+func (s *Store) noteScript(sc Script) {
+	if ix := s.ContentIndex(); ix != nil {
+		ix.IndexScript(sc.Name, sc.Description, sc.Author, sc.Keywords)
+	}
 }
 
 // Open wires a document store over a relational engine and a BLOB
@@ -181,7 +237,10 @@ func (s *Store) CreateScript(sc Script) error {
 	if !sc.ExpectedCompletion.IsZero() {
 		row["expected_completion"] = sc.ExpectedCompletion
 	}
-	return s.rel.Insert(schema.TableScripts, row)
+	// One-row batch for the commit-atomic index hook (see PutHTML).
+	var b relstore.Batch
+	b.Insert(schema.TableScripts, row)
+	return s.rel.ApplyThen(&b, func() { s.noteScript(sc) })
 }
 
 // Script fetches one script by name.
@@ -319,11 +378,18 @@ func (s *Store) queueProgram(b *relstore.Batch, url, path, language string, cont
 	})
 }
 
-// PutHTML stores (or replaces) an HTML file of an implementation.
+// PutHTML stores (or replaces) an HTML file of an implementation. The
+// content-index hook runs inside the commit (before the file tables'
+// locks release), so a checkpoint can never capture the index between
+// a committed write and its indexing.
 func (s *Store) PutHTML(url, path string, content []byte) error {
 	var b relstore.Batch
 	s.queueHTML(&b, url, path, content)
-	return s.rel.Apply(&b)
+	return s.rel.ApplyThen(&b, func() {
+		if ix := s.ContentIndex(); ix != nil {
+			ix.IndexHTML(url, path, content)
+		}
+	})
 }
 
 // HTML fetches the content of one HTML file.
@@ -355,11 +421,16 @@ func (s *Store) HTMLFiles(url string) ([]File, error) {
 	return out, nil
 }
 
-// PutProgram stores (or replaces) an add-on control program file.
+// PutProgram stores (or replaces) an add-on control program file, with
+// the same commit-atomic index hook as PutHTML.
 func (s *Store) PutProgram(url, path, language string, content []byte) error {
 	var b relstore.Batch
 	s.queueProgram(&b, url, path, language, content)
-	return s.rel.Apply(&b)
+	return s.rel.ApplyThen(&b, func() {
+		if ix := s.ContentIndex(); ix != nil {
+			ix.IndexProgram(url, path, language, content)
+		}
+	})
 }
 
 // ProgramFiles lists the program files of an implementation.

@@ -211,7 +211,19 @@ func (s *Store) copyStructure(srcURL, dstURL, scriptName, author string) error {
 		copy(content, f.Content)
 		s.queueProgram(&files, dstURL, f.Path, f.Language, content)
 	}
-	if err := s.rel.Apply(&files); err != nil {
+	err = s.rel.ApplyThen(&files, func() {
+		ix := s.ContentIndex()
+		if ix == nil {
+			return
+		}
+		for _, f := range html {
+			ix.IndexHTML(dstURL, f.Path, f.Content)
+		}
+		for _, f := range progs {
+			ix.IndexProgram(dstURL, f.Path, f.Language, f.Content)
+		}
+	})
+	if err != nil {
 		return err
 	}
 	media, err := s.ImplMedia(srcURL)
@@ -292,34 +304,41 @@ func (s *Store) MigrateToReference(objID string, origin int) error {
 
 // dropContent deletes the document-layer files of an implementation and
 // releases its BLOB references. The implementation row itself survives
-// (it is small metadata a reference still needs).
+// (it is small metadata a reference still needs). The row deletes land
+// as one batch whose commit also drops the content from the index, so
+// a checkpoint capture sees either all of it or none of it.
 func (s *Store) dropContent(url string) error {
 	html, err := s.HTMLFiles(url)
 	if err != nil {
 		return err
 	}
-	for _, f := range html {
-		if err := s.rel.Delete(schema.TableHTMLFiles, f.ID); err != nil {
-			return err
-		}
-	}
 	progs, err := s.ProgramFiles(url)
 	if err != nil {
 		return err
-	}
-	for _, f := range progs {
-		if err := s.rel.Delete(schema.TableProgFiles, f.ID); err != nil {
-			return err
-		}
 	}
 	media, err := s.ImplMedia(url)
 	if err != nil {
 		return err
 	}
+	var b relstore.Batch
+	for _, f := range html {
+		b.Delete(schema.TableHTMLFiles, f.ID)
+	}
+	for _, f := range progs {
+		b.Delete(schema.TableProgFiles, f.ID)
+	}
 	for _, m := range media {
-		if err := s.rel.Delete(schema.TableImplMedia, m.ResID); err != nil {
-			return err
+		b.Delete(schema.TableImplMedia, m.ResID)
+	}
+	err = s.rel.ApplyThen(&b, func() {
+		if ix := s.ContentIndex(); ix != nil {
+			ix.RemoveContent(url)
 		}
+	})
+	if err != nil {
+		return err
+	}
+	for _, m := range media {
 		if err := s.blobs.Release(m.Ref); err != nil {
 			return err
 		}
@@ -433,7 +452,13 @@ func (s *Store) DeleteScript(name string) error {
 			return err
 		}
 	}
-	return s.rel.Delete(schema.TableScripts, name)
+	var b relstore.Batch
+	b.Delete(schema.TableScripts, name)
+	return s.rel.ApplyThen(&b, func() {
+		if ix := s.ContentIndex(); ix != nil {
+			ix.RemoveScript(name)
+		}
+	})
 }
 
 // ResidentBytes reports the document-layer and BLOB-layer bytes this
@@ -576,7 +601,19 @@ func (s *Store) ImportBundle(b *Bundle, station int, persistent bool) (DocObject
 	for _, f := range b.Programs {
 		s.queueProgram(&files, b.Impl.StartingURL, f.Path, f.Language, f.Content)
 	}
-	if err := s.rel.Apply(&files); err != nil {
+	err := s.rel.ApplyThen(&files, func() {
+		ix := s.ContentIndex()
+		if ix == nil {
+			return
+		}
+		for _, f := range b.HTML {
+			ix.IndexHTML(b.Impl.StartingURL, f.Path, f.Content)
+		}
+		for _, f := range b.Programs {
+			ix.IndexProgram(b.Impl.StartingURL, f.Path, f.Language, f.Content)
+		}
+	})
+	if err != nil {
 		return DocObject{}, err
 	}
 	for _, m := range b.Media {

@@ -105,6 +105,15 @@ func (a *Admin) EndLecture(url string) (MigrateReply, error) {
 	return reply, err
 }
 
+// Search runs a federation-wide full-text query through the dialed
+// station: the station forwards to the root, which scatters the query
+// down the distribution tree and merges the top-k hits per hop.
+func (a *Admin) Search(terms []string, phrase bool, topK int) (SearchReply, error) {
+	var reply SearchReply
+	err := a.pool.Call(methodSearch, SearchRequest{Terms: terms, Phrase: phrase, TopK: topK}, &reply)
+	return reply, err
+}
+
 // Health fetches the station's liveness view of the fabric (the
 // root's view is authoritative).
 func (a *Admin) Health() (HealthReply, error) {

@@ -128,6 +128,7 @@ const (
 	methodCatalog    = "Fabric.Catalog"
 	methodRefs       = "Fabric.Refs"
 	methodState      = "Fabric.State"
+	methodSearch     = "Fabric.Search"
 )
 
 // JoinRequest announces a new station's listen address to the root.
@@ -229,6 +230,7 @@ func newStation(store *docdb.Store, isRoot bool, m, watermark int) *Station {
 	s.node.Handle(methodCatalog, s.handleCatalog)
 	s.node.Handle(methodRefs, s.handleRefs)
 	s.node.Handle(methodState, s.handleState)
+	s.node.Handle(methodSearch, s.handleSearch)
 	return s
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/relstore"
 	"repro/internal/schema"
+	"repro/internal/search"
 	"repro/internal/workload"
 )
 
@@ -23,6 +24,12 @@ func newTestStore(t *testing.T) *docdb.Store {
 		t.Fatal(err)
 	}
 	store.Now = func() time.Time { return time.Date(1999, 4, 21, 8, 0, 0, 0, time.UTC) }
+	// Every test station carries a content index, as deployed stations
+	// do — the write hooks then run under the race detector beside the
+	// fabric traffic.
+	if _, err := search.Attach(store); err != nil {
+		t.Fatal(err)
+	}
 	return store
 }
 

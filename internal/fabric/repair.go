@@ -9,6 +9,7 @@ import (
 	"repro/internal/docdb"
 	"repro/internal/mtree"
 	"repro/internal/schema"
+	"repro/internal/search"
 	"repro/internal/transport"
 )
 
@@ -94,45 +95,56 @@ func (s *Station) markMigrated(url string) {
 	}
 }
 
-// fanOutTree delivers one tree operation (push or migrate) to every
-// child of pos in parallel and collects the subtree results, routing
-// around dead hops: a known-down child is skipped outright, an
+// treeAgg is what one subtree's fan-out returns: the per-station
+// results plus whatever payload the operation aggregates — freed bytes
+// for migrations, ranked hits for scatter-gather searches. Pushes use
+// the results alone.
+type treeAgg struct {
+	Stations []StationResult
+	Freed    int64
+	Hits     []search.Hit
+}
+
+// fanOutTree delivers one tree operation (push, migrate or search) to
+// every child of pos in parallel and collects the subtree aggregates,
+// routing around dead hops: a known-down child is skipped outright, an
 // unreachable one gets the store-and-forward retry, and either way the
 // dead station's children are served directly by this station via a
 // recursive fan-out from the dead position (grafting). The dead hop
 // itself is reported per station in the result, never as a call
 // failure. send delivers to one child address and returns that
-// subtree's per-station results plus its freed-byte total (zero for
-// pushes).
-func (s *Station) fanOutTree(pos, m, n int, roster map[int]string, send func(addr string) ([]StationResult, int64, error)) ([]StationResult, int64) {
+// subtree's aggregate; routeAround classifies which send errors are
+// safe to repair by grafting (canRouteAround for one-shot deliveries,
+// a looser rule for idempotent reads — see searchFanOut).
+func (s *Station) fanOutTree(pos, m, n int, roster map[int]string, routeAround func(error) bool, send func(addr string) (treeAgg, error)) treeAgg {
 	kids, err := mtree.Children(pos, m, n)
 	if err != nil {
-		return []StationResult{{Pos: pos, Err: err.Error()}}, 0
+		return treeAgg{Stations: []StationResult{{Pos: pos, Err: err.Error()}}}
 	}
 	var mu sync.Mutex
-	var results []StationResult
-	var freed int64
+	var agg treeAgg
 	var wg sync.WaitGroup
 	for _, kid := range kids {
 		kid := kid
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rs, fr := s.childSubtree(kid, m, n, roster, send)
+			sub := s.childSubtree(kid, m, n, roster, routeAround, send)
 			mu.Lock()
-			results = append(results, rs...)
-			freed += fr
+			agg.Stations = append(agg.Stations, sub.Stations...)
+			agg.Freed += sub.Freed
+			agg.Hits = append(agg.Hits, sub.Hits...)
 			mu.Unlock()
 		}()
 	}
 	wg.Wait()
-	return results, freed
+	return agg
 }
 
 // childSubtree covers one child's subtree for fanOutTree: a reachable
 // child relays onward itself; a dead one is reported and its children
 // grafted onto this station.
-func (s *Station) childSubtree(kid, m, n int, roster map[int]string, send func(addr string) ([]StationResult, int64, error)) ([]StationResult, int64) {
+func (s *Station) childSubtree(kid, m, n int, roster map[int]string, routeAround func(error) bool, send func(addr string) (treeAgg, error)) treeAgg {
 	s.mu.Lock()
 	dead := s.down[kid] || s.suspect[kid]
 	s.mu.Unlock()
@@ -142,38 +154,46 @@ func (s *Station) childSubtree(kid, m, n int, roster map[int]string, send func(a
 		if addr == "" {
 			failure = "no address in roster"
 		} else {
-			rs, freed, err := send(addr)
+			agg, err := send(addr)
 			if err == nil {
-				return rs, freed
+				return agg
 			}
-			if !canRouteAround(err) {
+			if !routeAround(err) {
 				// The station answered (it is alive, the operation
 				// just failed there) or the call timed out (it may
 				// still be executing and fanning out). No grafting —
 				// doubling the delivery would be worse than reporting
 				// the hop.
-				return []StationResult{{Pos: kid, Err: err.Error()}}, 0
+				return treeAgg{Stations: []StationResult{{Pos: kid, Err: err.Error()}}}
 			}
-			s.noteSuspect(kid)
+			// Suspicion is recorded only for hard unreachability
+			// (canRouteAround), never for timeouts: an idempotent
+			// search may graft around a merely slow station, but
+			// marking it suspect would make the next one-shot
+			// broadcast skip delivering to it outright.
+			if canRouteAround(err) {
+				s.noteSuspect(kid)
+			}
 			failure = err.Error()
 		}
 	}
-	sub, freed := s.fanOutTree(kid, m, n, roster, send)
-	return append([]StationResult{{Pos: kid, Err: failure}}, sub...), freed
+	sub := s.fanOutTree(kid, m, n, roster, routeAround, send)
+	sub.Stations = append([]StationResult{{Pos: kid, Err: failure}}, sub.Stations...)
+	return sub
 }
 
 // fanOut relays a push to every child of pos, grafting around dead
 // hops. Every failure mode lands as a per-station result entry, never
 // as a call failure.
 func (s *Station) fanOut(pos int, req PushRequest) []StationResult {
-	results, _ := s.fanOutTree(pos, req.M, req.N, req.Roster, func(addr string) ([]StationResult, int64, error) {
+	agg := s.fanOutTree(pos, req.M, req.N, req.Roster, canRouteAround, func(addr string) (treeAgg, error) {
 		var reply PushReply
 		if err := s.callWithRetry(addr, methodPush, req, &reply); err != nil {
-			return nil, 0, err
+			return treeAgg{}, err
 		}
-		return reply.Results, 0, nil
+		return treeAgg{Stations: reply.Results}, nil
 	})
-	return results
+	return agg.Stations
 }
 
 // canRouteAround reports whether a failed tree call is safe to repair
@@ -210,14 +230,14 @@ func (s *Station) callWithRetry(addr, method string, req, reply any) error {
 // reconciled when the station rejoins (its catch-up rebuilds the
 // document as a reference).
 func (s *Station) migrateFanOut(pos int, req MigrateRequest) MigrateReply {
-	results, freed := s.fanOutTree(pos, req.M, req.N, req.Roster, func(addr string) ([]StationResult, int64, error) {
+	agg := s.fanOutTree(pos, req.M, req.N, req.Roster, canRouteAround, func(addr string) (treeAgg, error) {
 		var reply MigrateReply
 		if err := s.callWithRetry(addr, methodMigrate, req, &reply); err != nil {
-			return nil, 0, err
+			return treeAgg{}, err
 		}
-		return reply.Stations, reply.Freed, nil
+		return treeAgg{Stations: reply.Stations, Freed: reply.Freed}, nil
 	})
-	return MigrateReply{Freed: freed, Stations: results}
+	return MigrateReply{Freed: agg.Freed, Stations: agg.Stations}
 }
 
 // resolveViaAncestors walks the parent route for a missing document,

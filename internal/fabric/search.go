@@ -1,0 +1,192 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/search"
+	"repro/internal/transport"
+)
+
+// Federation-wide full-text search: the scatter-gather querying of the
+// Distributed XML-Query Network mapped onto the paper's m-ary
+// distribution tree. A query issued at ANY station is forwarded to the
+// root (one hop — every roster carries the root's address), which
+// scatters it down the tree: each station answers from its local
+// content index (internal/search, attached through docdb's
+// ContentIndex extension point) and fans out to its children in
+// parallel, merging the bounded top-k result sets on the way back up.
+// The whole federation is covered in O(depth) round trips, each hop
+// carrying at most TopK hits.
+//
+// Failure handling reuses the tree-repair machinery: a dead child's
+// subtree is grafted onto the sender and queried directly, with the
+// dead hop reported per station. Because a search is a read-only,
+// idempotent operation, even timed-out hops are safe to graft around
+// (re-querying a subtree at worst re-returns hits the merge
+// deduplicates) — unlike broadcasts, where re-delivery would duplicate
+// work. Reference-only stations answer from their index (catalog
+// metadata and whatever content they hold) without materializing any
+// BLOBs.
+
+// searchCallTimeout bounds one scatter hop. A subtree that cannot
+// answer within it is re-queried through the graft path, so a slow
+// interior station delays the gather by at most one timeout per tree
+// level rather than stalling the query forever.
+const searchCallTimeout = 15 * time.Second
+
+// SearchRequest carries one federation query. Client entries (from
+// webdocctl, the Web UI or Station.Search) leave Scatter false: the
+// receiving station forwards to the root, which stamps the topology
+// and scatters. Scatter hops carry the epoch-numbered roster like
+// every other tree RPC.
+type SearchRequest struct {
+	Terms     []string
+	Phrase    bool
+	TopK      int
+	Scatter   bool
+	M         int
+	N         int
+	Watermark int
+	Epoch     int
+	Roster    map[int]string
+	Down      map[int]bool
+}
+
+// SearchReply aggregates a subtree's answer: the merged top-k hits and
+// one result entry per station covered (Err set for dead hops).
+type SearchReply struct {
+	Hits     []search.Hit
+	Stations []StationResult
+}
+
+// Search answers a federation-wide full-text query from this station:
+// served by the root's scatter-gather over the distribution tree, with
+// this station's only extra cost the round trip to the root.
+func (s *Station) Search(q search.Query) (*SearchReply, error) {
+	v := s.view()
+	if v.pos == 0 {
+		return nil, ErrNotJoined
+	}
+	// A term-less query matches nothing anywhere; answer it here
+	// instead of scattering one RPC per station for an empty reply.
+	if len(search.NormalizeTerms(q.Terms)) == 0 {
+		return &SearchReply{}, nil
+	}
+	if v.isRoot {
+		reply := s.scatterSearch(v, q)
+		return &reply, nil
+	}
+	rootAddr := v.roster[1]
+	if rootAddr == "" {
+		return nil, fmt.Errorf("fabric: no root address in roster")
+	}
+	req := SearchRequest{Terms: q.Terms, Phrase: q.Phrase, TopK: q.TopK}
+	var reply SearchReply
+	if err := s.pool(rootAddr).Call(methodSearch, req, &reply); err != nil {
+		return nil, fmt.Errorf("fabric: forwarding search to root: %w", err)
+	}
+	return &reply, nil
+}
+
+// handleSearch serves both roles of the search RPC. A client entry
+// (Scatter false) is forwarded to the root — or, on the root, turned
+// into the scatter. A scatter hop folds the carried topology in,
+// answers locally and relays down its subtree.
+func (s *Station) handleSearch(decode func(any) error) (any, error) {
+	var req SearchRequest
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	q := search.Query{Terms: req.Terms, Phrase: req.Phrase, TopK: req.TopK}
+	if !req.Scatter {
+		// Client entry: exactly Station.Search's protocol (forward to
+		// the root, or scatter when this station is the root).
+		reply, err := s.Search(q)
+		if err != nil {
+			return nil, err
+		}
+		return *reply, nil
+	}
+	s.mu.Lock()
+	s.applyTopology(req.M, req.N, req.Watermark, req.Epoch, req.Roster, req.Down)
+	pos := s.pos
+	s.mu.Unlock()
+	if pos == 0 {
+		return nil, ErrNotJoined
+	}
+	return s.gatherSubtree(pos, req, q), nil
+}
+
+// scatterSearch runs the root's side of a query: stamp the topology
+// into the scatter request and gather the whole tree.
+func (s *Station) scatterSearch(v view, q search.Query) SearchReply {
+	req := SearchRequest{
+		Terms: q.Terms, Phrase: q.Phrase, TopK: q.TopK, Scatter: true,
+		M: v.m, N: v.n, Watermark: v.watermark,
+		Epoch: v.epoch, Roster: v.roster, Down: v.down,
+	}
+	return s.gatherSubtree(v.pos, req, q)
+}
+
+// gatherSubtree answers for one station and everything below it: local
+// hits from the content index, children covered through the repairing
+// fan-out, and one bounded top-k merge before the reply travels up —
+// the per-hop merge that keeps every transfer O(k) no matter how large
+// the subtree.
+func (s *Station) gatherSubtree(pos int, req SearchRequest, q search.Query) SearchReply {
+	local := s.localHits(q, pos)
+	agg := s.searchFanOut(pos, req)
+	return SearchReply{
+		Hits:     search.Merge(q.TopK, local, agg.Hits),
+		Stations: append([]StationResult{{Pos: pos}}, agg.Stations...),
+	}
+}
+
+// localHits queries this station's content index, stamping the hits
+// with the station position. A station without an attached index (or
+// one whose index lacks the query capability) contributes nothing but
+// still relays — the tree must stay connected.
+func (s *Station) localHits(q search.Query, pos int) []search.Hit {
+	ix, ok := s.store.ContentIndex().(search.Searcher)
+	if !ok {
+		return nil
+	}
+	hits := ix.Search(q)
+	for i := range hits {
+		hits[i].Station = pos
+	}
+	return hits
+}
+
+// searchFanOut relays the scatter to every child subtree with the
+// shared grafting rule. Unlike pushes, a timed-out child is also
+// grafted around (transport.Unreachable, not canRouteAround): the
+// query is idempotent and the merge deduplicates, so re-covering a
+// subtree is safe, while waiting out a wedged station is not.
+func (s *Station) searchFanOut(pos int, req SearchRequest) treeAgg {
+	return s.fanOutTree(pos, req.M, req.N, req.Roster, transport.Unreachable, func(addr string) (treeAgg, error) {
+		var reply SearchReply
+		if err := s.callSearchWithRetry(addr, req, &reply); err != nil {
+			return treeAgg{}, err
+		}
+		return treeAgg{Stations: reply.Stations, Hits: reply.Hits}, nil
+	})
+}
+
+// callSearchWithRetry is callWithRetry with the search rules: a short
+// per-hop timeout and retries for every unreachable classification
+// (timeouts included — the operation is idempotent).
+func (s *Station) callSearchWithRetry(addr string, req SearchRequest, reply *SearchReply) error {
+	var err error
+	for attempt := 0; attempt < pushAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(pushRetryDelay)
+		}
+		err = s.pool(addr).CallWithTimeout(methodSearch, req, reply, searchCallTimeout)
+		if err == nil || !transport.Unreachable(err) {
+			return err
+		}
+	}
+	return err
+}

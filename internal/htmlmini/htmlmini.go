@@ -136,6 +136,78 @@ func Normalize(target string) string {
 	return target
 }
 
+// Text extracts the visible text of a page — the title and everything
+// between tags, with script and style contents skipped — for full-text
+// indexing. Like Parse it never fails; malformed markup yields whatever
+// text could be recovered.
+func Text(data []byte) string {
+	var sb strings.Builder
+	s := string(data)
+	i := 0
+	skipUntil := "" // closing tag that ends a non-visible element
+	for i < len(s) {
+		lt := strings.IndexByte(s[i:], '<')
+		if lt < 0 {
+			if skipUntil == "" {
+				appendText(&sb, s[i:])
+			}
+			break
+		}
+		if skipUntil == "" {
+			appendText(&sb, s[i:i+lt])
+		}
+		i += lt
+		gt := strings.IndexByte(s[i:], '>')
+		if gt < 0 {
+			break
+		}
+		tag := strings.TrimSpace(s[i+1 : i+gt])
+		i += gt + 1
+		name := tagName(tag)
+		switch {
+		case skipUntil != "":
+			if name == "/"+skipUntil {
+				skipUntil = ""
+			}
+		case name == "script" || name == "style":
+			// Self-closing forms (<script src="x"/>) have no element
+			// body to skip.
+			if !strings.HasSuffix(tag, "/") {
+				skipUntil = name
+			}
+		}
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+// tagName extracts the lower-cased element name of a raw tag body,
+// keeping a leading '/' so closing tags compare as "/name". A
+// malformed or directive tag yields whatever its first token is —
+// harmless, since callers compare against known names.
+func tagName(tag string) string {
+	end := len(tag)
+	for j := 0; j < len(tag); j++ {
+		if c := tag[j]; c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '>' {
+			end = j
+			break
+		}
+	}
+	return strings.ToLower(strings.TrimSuffix(tag[:end], "/"))
+}
+
+// appendText adds a text run to the builder, collapsing the boundary to
+// a single space.
+func appendText(sb *strings.Builder, run string) {
+	run = strings.TrimSpace(run)
+	if run == "" {
+		return
+	}
+	if sb.Len() > 0 {
+		sb.WriteByte(' ')
+	}
+	sb.WriteString(run)
+}
+
 // Page builds a minimal well-formed course page, used by the workload
 // generator and tests.
 func Page(title string, links, assets []string, body string) []byte {

@@ -161,3 +161,39 @@ func TestQuickPageParseRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTextExtractsVisibleProse(t *testing.T) {
+	page := []byte(`<html><head><title>Lecture 4</title>
+<style>body { color: red }</style>
+<script>var secret = "hiddenvalue";</script>
+</head><body><h1>Pipelines</h1><p>Store and <b>forward</b> relaying.</p></body></html>`)
+	got := Text(page)
+	want := "Lecture 4 Pipelines Store and forward relaying."
+	if got != want {
+		t.Errorf("Text = %q, want %q", got, want)
+	}
+}
+
+func TestTextToleratesMalformedMarkup(t *testing.T) {
+	cases := map[string]string{
+		"no markup at all":           "no markup at all",
+		"<b>unclosed":                "unclosed",
+		"trailing angle <":           "trailing angle",
+		"<script>never closed":       "",
+		"<style>a{}</style>after":    "after",
+		"<p>a</p><script>x</script>": "a",
+		// Self-closing script/style tags have no body: the rest of the
+		// page must still be indexed.
+		`<script src="app.js"/>after the include`: "after the include",
+		"<script/>visible":                        "visible",
+		// Only exact element names enter skip mode.
+		"<scripted>not a script</scripted>":     "not a script",
+		"<SCRIPT>upper</SCRIPT>lower":           "lower",
+		"<script>a</script><script>b</script>c": "c",
+	}
+	for in, want := range cases {
+		if got := Text([]byte(in)); got != want {
+			t.Errorf("Text(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

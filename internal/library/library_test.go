@@ -2,6 +2,10 @@ package library
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -275,5 +279,70 @@ func TestLibraryLedgerSeparateFromSCM(t *testing.T) {
 	}
 	if a.Checkouts != 0 {
 		t.Errorf("SCM rows leaked into library assessment: %+v", a)
+	}
+}
+
+// TestSearchScanSearchDifferentialProperty is the randomized parity
+// harness: over randomized catalogs and queries, the indexed Search
+// and the linear ScanSearch must agree on the exact hit set AND the
+// exact ranking. The content index (internal/search) reuses the same
+// harness shape for its own differential test.
+func TestSearchScanSearchDifferentialProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1999))
+	vocab := []string{"web", "document", "database", "multimedia", "engineering",
+		"drawing", "computer", "virtual", "university", "network"}
+	instructors := []string{"Shih", "Ma", "Huang", "Wang"}
+	pick := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return out
+	}
+	for trial := 0; trial < 40; trial++ {
+		s, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Now = func() time.Time { return time.Date(1999, 4, 21, 8, 0, 0, 0, time.UTC) }
+		if err := s.CreateDatabase(docdb.Database{Name: "mmu"}); err != nil {
+			t.Fatal(err)
+		}
+		l := New(s)
+		l.RegisterInstructor("admin")
+		nCourses := 1 + rng.Intn(20)
+		for c := 0; c < nCourses; c++ {
+			name := fmt.Sprintf("course%03d", c)
+			err := s.CreateScript(docdb.Script{
+				Name: name, DBName: "mmu",
+				Author:      instructors[rng.Intn(len(instructors))],
+				Keywords:    pick(1 + rng.Intn(4)),
+				Description: strings.Join(pick(1+rng.Intn(5)), " "),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Add(name, fmt.Sprintf("N-%d", rng.Intn(5)), "admin"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for q := 0; q < 25; q++ {
+			query := Query{}
+			if rng.Intn(4) > 0 {
+				query.Keywords = pick(1 + rng.Intn(3))
+			}
+			if rng.Intn(3) == 0 {
+				query.Instructor = instructors[rng.Intn(len(instructors))]
+			}
+			if rng.Intn(3) == 0 {
+				query.Course = []string{"N-1", "N-2", "web", "cour"}[rng.Intn(4)]
+			}
+			fast := l.Search(query)
+			slow := l.ScanSearch(query)
+			if !reflect.DeepEqual(fast, slow) {
+				t.Fatalf("trial %d query %+v:\nSearch     = %+v\nScanSearch = %+v",
+					trial, query, fast, slow)
+			}
+		}
 	}
 }

@@ -63,7 +63,19 @@ func (b *Batch) Tables() []string {
 // the first failing operation the whole batch rolls back and nothing is
 // applied. An empty batch is a no-op.
 func (db *DB) Apply(b *Batch) error {
+	return db.ApplyThen(b, nil)
+}
+
+// ApplyThen is Apply with a post-commit hook running before the
+// transaction's locks release (see Tx.CommitThen): fn runs exactly
+// when the batch committed, atomically with respect to checkpoints
+// and other writers of the touched tables. An empty batch runs fn
+// directly.
+func (db *DB) ApplyThen(b *Batch, fn func()) error {
 	if b == nil || len(b.ops) == 0 {
+		if fn != nil {
+			fn()
+		}
 		return nil
 	}
 	tx, err := db.Begin(b.Tables()...)
@@ -84,5 +96,5 @@ func (db *DB) Apply(b *Batch) error {
 			return err
 		}
 	}
-	return tx.Commit()
+	return tx.CommitThen(fn)
 }

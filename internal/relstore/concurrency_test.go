@@ -501,3 +501,62 @@ func TestReadNotStalledByUnrelatedWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestApplyThenHookRunsBeforeLocksRelease pins the contract derived
+// caches rely on: the ApplyThen hook observes the committed state
+// while the transaction's table locks are still held, so no reader —
+// and in particular no checkpoint capture, which read-locks every
+// table — can slip between a committed batch and its hook.
+func TestApplyThenHookRunsBeforeLocksRelease(t *testing.T) {
+	db := concDB(t)
+	var b Batch
+	b.Insert("notes", Row{"id": int64(1), "body": "x"})
+	entered := make(chan struct{})
+	unblock := make(chan struct{})
+	applied := make(chan error, 1)
+	go func() {
+		applied <- db.ApplyThen(&b, func() {
+			close(entered)
+			<-unblock
+		})
+	}()
+	<-entered
+	// While the hook runs, the touched table is still write-locked.
+	read := make(chan struct{})
+	go func() {
+		db.Get("notes", int64(1))
+		close(read)
+	}()
+	select {
+	case <-read:
+		t.Fatal("reader got in while the commit hook was still running")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(unblock)
+	if err := <-applied; err != nil {
+		t.Fatal(err)
+	}
+	<-read
+	if _, err := db.Get("notes", int64(1)); err != nil {
+		t.Errorf("committed row missing after ApplyThen: %v", err)
+	}
+}
+
+// TestApplyThenHookSkippedOnFailure: a rolled-back batch must never
+// reach the hook, and an empty batch runs it directly.
+func TestApplyThenHookSkippedOnFailure(t *testing.T) {
+	db := concDB(t)
+	var b Batch
+	b.Insert("docs", Row{"id": int64(1), "author": "ghost"}) // FK violation
+	ran := false
+	if err := db.ApplyThen(&b, func() { ran = true }); !errors.Is(err, ErrFK) {
+		t.Fatalf("err = %v, want ErrFK", err)
+	}
+	if ran {
+		t.Error("hook ran for a rolled-back batch")
+	}
+	var empty Batch
+	if err := db.ApplyThen(&empty, func() { ran = true }); err != nil || !ran {
+		t.Errorf("empty batch: err = %v, hook ran = %v", err, ran)
+	}
+}

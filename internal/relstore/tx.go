@@ -80,6 +80,18 @@ func (db *DB) Begin(tables ...string) (*Tx, error) {
 // Commit makes the transaction's effects durable (appending them to the
 // WAL in one record when a log is attached) and releases every lock.
 func (tx *Tx) Commit() error {
+	return tx.CommitThen(nil)
+}
+
+// CommitThen is Commit with a post-commit hook that runs BEFORE the
+// transaction's locks release: fn observes the committed state while
+// nothing — not another writer, not a checkpoint's write-quiescent
+// window — can slip between the commit and the hook. This is the
+// ordering derived caches (the document store's content index) need:
+// a checkpoint that captures the cache inside its quiescent window can
+// never observe a committed row whose hook has not run yet. fn must
+// not touch the database through this or any other transaction.
+func (tx *Tx) CommitThen(fn func()) error {
 	if tx.done {
 		return ErrTxDone
 	}
@@ -87,6 +99,11 @@ func (tx *Tx) Commit() error {
 	var err error
 	if tx.db.wal != nil && len(tx.redo) > 0 {
 		err = tx.db.wal.append(tx.redo)
+	}
+	// A failed WAL append keeps the in-memory mutations (the existing
+	// Commit contract), so the hook still reflects the live state.
+	if fn != nil {
+		fn()
 	}
 	tx.release()
 	return err

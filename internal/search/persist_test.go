@@ -1,0 +1,330 @@
+package search_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/docdb"
+	"repro/internal/relstore"
+	"repro/internal/search"
+)
+
+func newStore(t *testing.T) *docdb.Store {
+	t.Helper()
+	s, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Now = func() time.Time { return time.Date(1999, 4, 21, 8, 0, 0, 0, time.UTC) }
+	return s
+}
+
+// scaffold installs the database/script/implementation rows content
+// hangs off.
+func scaffold(t *testing.T, s *docdb.Store, script, url string) {
+	t.Helper()
+	if _, err := s.Database("mmu"); err != nil {
+		if err := s.CreateDatabase(docdb.Database{Name: "mmu"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CreateScript(docdb.Script{
+		Name: script, DBName: "mmu", Author: "Shih",
+		Description: "Lecture notes for " + script,
+		Keywords:    []string{"lecture", script},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddImplementation(docdb.Implementation{StartingURL: url, ScriptName: script, Author: "Shih"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func keysOf(hits []search.Hit) []string {
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = h.Key
+	}
+	return out
+}
+
+func TestAttachSeedsFromExistingContent(t *testing.T) {
+	s := newStore(t)
+	scaffold(t, s, "cs101", "http://mmu/cs101/v1")
+	if err := s.PutHTML("http://mmu/cs101/v1", "index.html", []byte("<body>preexisting content</body>")); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := search.Attach(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := ix.Search(search.Query{Terms: []string{"preexisting"}}); len(hits) != 1 {
+		t.Errorf("attach did not seed existing content: %v", hits)
+	}
+	if _, err := search.Attach(s); err == nil {
+		t.Error("double attach succeeded")
+	}
+}
+
+func TestWriteHooksKeepIndexCurrent(t *testing.T) {
+	s := newStore(t)
+	ix, err := search.Attach(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaffold(t, s, "cs101", "http://mmu/cs101/v1")
+	url := "http://mmu/cs101/v1"
+	if err := s.PutHTML(url, "index.html", []byte("<body>pipelined broadcast</body>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutProgram(url, "quiz.asp", "asp", []byte("gradebook logic")); err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range []string{"pipelined", "gradebook", "lecture"} {
+		if hits := ix.Search(search.Query{Terms: []string{term}}); len(hits) == 0 {
+			t.Errorf("no hits for %q after write hooks", term)
+		}
+	}
+
+	// A bundle import on a second station indexes the carried content.
+	inst, err := s.NewInstance(url, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := s.ExportBundle(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := newStore(t)
+	ix2, err := search.Attach(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.ImportBundle(bundle, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if hits := ix2.Search(search.Query{Terms: []string{"pipelined"}}); len(hits) != 1 {
+		t.Errorf("import bundle not indexed: %v", hits)
+	}
+
+	// A reference import indexes only the catalog metadata.
+	s3 := newStore(t)
+	ix3, err := search.Attach(s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.ImportReference(bundle.Script, bundle.Impl, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if hits := ix3.Search(search.Query{Terms: []string{"pipelined"}}); len(hits) != 0 {
+		t.Errorf("reference import indexed content it does not hold: %v", hits)
+	}
+	if hits := ix3.Search(search.Query{Terms: []string{"lecture"}}); len(hits) != 1 {
+		t.Errorf("reference import lost the catalog metadata: %v", hits)
+	}
+
+	// Migration to reference drops the content hits, keeps the script.
+	if err := s.MigrateToReference(inst.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if hits := ix.Search(search.Query{Terms: []string{"pipelined"}}); len(hits) != 0 {
+		t.Errorf("content hits survived migration to reference: %v", hits)
+	}
+	if hits := ix.Search(search.Query{Terms: []string{"lecture"}}); len(hits) == 0 {
+		t.Error("script metadata lost in migration")
+	}
+
+	// Deleting the script removes the last trace.
+	if err := s.DeleteScript("cs101"); err != nil {
+		t.Fatal(err)
+	}
+	if hits := ix.Search(search.Query{Terms: []string{"lecture"}}); len(hits) != 0 {
+		t.Errorf("hits survived script delete: %v", hits)
+	}
+}
+
+func TestInstantiateIndexesCopiedStructure(t *testing.T) {
+	s := newStore(t)
+	ix, err := search.Attach(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaffold(t, s, "cs101", "http://mmu/cs101/v1")
+	if err := s.PutHTML("http://mmu/cs101/v1", "index.html", []byte("<body>prototype reuse text</body>")); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.NewInstance("http://mmu/cs101/v1", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, err := s.DeclareClass(inst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Instantiate(class.ID, "http://mmu/cs101/v2", 1); err != nil {
+		t.Fatal(err)
+	}
+	hits := ix.Search(search.Query{Terms: []string{"prototype"}, TopK: 10})
+	if len(hits) != 2 {
+		t.Errorf("instantiated copy not indexed: %v", keysOf(hits))
+	}
+}
+
+// durableStore opens a store with an attached index over a durability
+// directory, in webdocd's order: open, attach, recover.
+func durableStore(t *testing.T, dir string) (*docdb.Store, *search.Index, *relstore.RecoverInfo) {
+	t.Helper()
+	s := newStore(t)
+	ix, err := search.Attach(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ix, info
+}
+
+func seedContent(t *testing.T, s *docdb.Store, docs int) string {
+	t.Helper()
+	url := "http://mmu/cs101/v1"
+	scaffold(t, s, "cs101", url)
+	for i := 0; i < docs; i++ {
+		page := fmt.Sprintf("<body>shared corpus page%d unique%04d</body>", i, i)
+		if err := s.PutHTML(url, fmt.Sprintf("p%04d.html", i), []byte(page)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return url
+}
+
+// dump captures the full ranked answer for a distinctive query — the
+// equality witness the recovery tests compare.
+func dump(ix *search.Index) []search.Hit {
+	return ix.Search(search.Query{Terms: []string{"corpus"}, TopK: 1 << 20})
+}
+
+func TestCheckpointSidecarRestoresIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, ix, _ := durableStore(t, dir)
+	seedContent(t, s, 8)
+	before := dump(ix)
+	info, err := s.CheckpointNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("search-%010d", info.Gen))); err != nil {
+		t.Fatalf("search sidecar missing after checkpoint: %v", err)
+	}
+
+	_, ix2, rec := durableStore(t, dir)
+	if rec.Gen != info.Gen || rec.Applied != 0 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	if got := dump(ix2); !reflect.DeepEqual(got, before) {
+		t.Errorf("sidecar-restored index differs:\n got %v\nwant %v", keysOf(got), keysOf(before))
+	}
+}
+
+// TestRecoveryRebuildsWhenSidecarMissing is the crash-matrix entry the
+// checkpoint ordering promises: the search sidecar installs AFTER the
+// relational snapshot, so a SIGKILL between the two leaves snap-<gen>
+// (and blobs-<gen>) on disk with no search-<gen> beside them. Recovery
+// must fall back to rebuilding the index from the restored rows and
+// produce exactly the index a clean restart would have.
+func TestRecoveryRebuildsWhenSidecarMissing(t *testing.T) {
+	dir := t.TempDir()
+	s, ix, _ := durableStore(t, dir)
+	seedContent(t, s, 8)
+	before := dump(ix)
+	info, err := s.CheckpointNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SIGKILL between the snapshot rename and the search sidecar
+	// install: the post-crash disk state is the checkpoint minus the
+	// search file.
+	if err := os.Remove(filepath.Join(dir, fmt.Sprintf("search-%010d", info.Gen))); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ix2, rec := durableStore(t, dir)
+	if rec.Gen != info.Gen {
+		t.Fatalf("recovered generation = %d, want %d", rec.Gen, info.Gen)
+	}
+	if got := dump(ix2); !reflect.DeepEqual(got, before) {
+		t.Errorf("rebuilt index differs from the pre-crash one:\n got %v\nwant %v", keysOf(got), keysOf(before))
+	}
+}
+
+// TestRecoveryRebuildsOverStaleSidecar: writes after the checkpoint
+// land in the WAL tail; the sidecar describes the older cut, so a
+// post-SIGKILL recovery (snapshot + tail replay) must rebuild instead
+// of silently serving the stale index.
+func TestRecoveryRebuildsOverStaleSidecar(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := durableStore(t, dir)
+	url := seedContent(t, s, 4)
+	if _, err := s.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint content: WAL tail only, never in the sidecar.
+	if err := s.PutHTML(url, "late.html", []byte("<body>corpus latecomer</body>")); err != nil {
+		t.Fatal(err)
+	}
+	// SIGKILL: no shutdown checkpoint.
+
+	_, ix2, rec := durableStore(t, dir)
+	if rec.Applied == 0 {
+		t.Fatal("no tail transactions replayed — test premise broken")
+	}
+	hits := ix2.Search(search.Query{Terms: []string{"latecomer"}})
+	if len(hits) != 1 {
+		t.Errorf("post-checkpoint page missing from the recovered index: %v", hits)
+	}
+}
+
+// TestRecoveryRebuildsOverCorruptSidecar: a torn search-<gen> file must
+// never poison recovery.
+func TestRecoveryRebuildsOverCorruptSidecar(t *testing.T) {
+	dir := t.TempDir()
+	s, ix, _ := durableStore(t, dir)
+	seedContent(t, s, 4)
+	before := dump(ix)
+	info, err := s.CheckpointNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("search-%010d", info.Gen))
+	if err := os.WriteFile(path, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ix2, _ := durableStore(t, dir)
+	if got := dump(ix2); !reflect.DeepEqual(got, before) {
+		t.Errorf("recovery over a corrupt sidecar differs:\n got %v\nwant %v", keysOf(got), keysOf(before))
+	}
+}
+
+func TestCheckpointPrunesSearchSidecars(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := durableStore(t, dir)
+	seedContent(t, s, 2)
+	if _, err := s.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "search-0000000001")); !os.IsNotExist(err) {
+		t.Error("generation-1 search sidecar survived the generation-2 checkpoint")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "search-0000000002")); err != nil {
+		t.Errorf("generation-2 search sidecar missing: %v", err)
+	}
+}

@@ -1,0 +1,239 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! pipelined-broadcast 42x")
+	want := []string{"hello", "world", "pipelined", "broadcast", "42x"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+	if toks := Tokenize("  ...  "); toks != nil {
+		t.Errorf("Tokenize(punctuation) = %v", toks)
+	}
+}
+
+func TestSearchRanksMatchedTermsOverFrequency(t *testing.T) {
+	ix := NewIndex()
+	ix.IndexHTML("u1", "a.html", []byte("<html><body>alpha alpha alpha alpha</body></html>"))
+	ix.IndexHTML("u1", "b.html", []byte("<html><body>alpha beta</body></html>"))
+	hits := ix.Search(Query{Terms: []string{"alpha", "beta"}})
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	// b.html matches both terms; the four-fold alpha in a.html must not
+	// outrank it.
+	if hits[0].Path != "b.html" || hits[1].Path != "a.html" {
+		t.Errorf("ranking = %s, %s", hits[0].Path, hits[1].Path)
+	}
+	if hits[0].Score <= hits[1].Score {
+		t.Errorf("scores = %d, %d", hits[0].Score, hits[1].Score)
+	}
+}
+
+func TestSearchIgnoresMarkupAndScripts(t *testing.T) {
+	ix := NewIndex()
+	page := []byte(`<html><head><title>Lecture</title><script>var hiddenword = 1;</script></head>` +
+		`<body><p>visibleword</p></body></html>`)
+	ix.IndexHTML("u1", "p.html", page)
+	if hits := ix.Search(Query{Terms: []string{"visibleword"}}); len(hits) != 1 {
+		t.Errorf("visible text not indexed: %v", hits)
+	}
+	if hits := ix.Search(Query{Terms: []string{"hiddenword"}}); len(hits) != 0 {
+		t.Errorf("script body leaked into the index: %v", hits)
+	}
+	if hits := ix.Search(Query{Terms: []string{"lecture"}}); len(hits) != 1 {
+		t.Errorf("title not indexed: %v", hits)
+	}
+}
+
+func TestPhraseSearch(t *testing.T) {
+	ix := NewIndex()
+	ix.IndexHTML("u1", "a.html", []byte("<body>store and forward relaying</body>"))
+	ix.IndexHTML("u1", "b.html", []byte("<body>forward the store</body>"))
+	loose := ix.Search(Query{Terms: []string{"store", "forward"}})
+	if len(loose) != 2 {
+		t.Fatalf("loose hits = %v", loose)
+	}
+	phrase := ix.Search(Query{Terms: []string{"store", "and", "forward"}, Phrase: true})
+	if len(phrase) != 1 || phrase[0].Path != "a.html" {
+		t.Errorf("phrase hits = %v", phrase)
+	}
+}
+
+func TestSnippetSurroundsFirstMatch(t *testing.T) {
+	ix := NewIndex()
+	ix.IndexHTML("u1", "a.html", []byte("<body>one two three four five six TARGET eight nine ten eleven twelve thirteen</body>"))
+	hits := ix.Search(Query{Terms: []string{"target"}})
+	if len(hits) != 1 {
+		t.Fatal(hits)
+	}
+	want := "two three four five six target eight nine ten eleven twelve"
+	if hits[0].Snippet != want {
+		t.Errorf("snippet = %q, want %q", hits[0].Snippet, want)
+	}
+}
+
+func TestProgramAndScriptDocs(t *testing.T) {
+	ix := NewIndex()
+	ix.IndexProgram("u1", "quiz.js", "javascript", []byte("function gradeQuiz() { return score; }"))
+	ix.IndexScript("cs101", "Introduction to Computer Engineering", "Shih", []string{"computer", "engineering"})
+	if hits := ix.Search(Query{Terms: []string{"gradequiz"}}); len(hits) != 1 || hits[0].Kind != KindProgram {
+		t.Errorf("program hits = %v", hits)
+	}
+	if hits := ix.Search(Query{Terms: []string{"javascript"}}); len(hits) != 1 {
+		t.Errorf("language token missing: %v", hits)
+	}
+	hits := ix.Search(Query{Terms: []string{"engineering"}})
+	if len(hits) != 1 || hits[0].Kind != KindScript || hits[0].Path != "cs101" {
+		t.Errorf("script hits = %v", hits)
+	}
+}
+
+func TestReindexReplacesOldTokens(t *testing.T) {
+	ix := NewIndex()
+	ix.IndexHTML("u1", "a.html", []byte("<body>oldword</body>"))
+	ix.IndexHTML("u1", "a.html", []byte("<body>newword</body>"))
+	if hits := ix.Search(Query{Terms: []string{"oldword"}}); len(hits) != 0 {
+		t.Errorf("stale tokens survived re-index: %v", hits)
+	}
+	if hits := ix.Search(Query{Terms: []string{"newword"}}); len(hits) != 1 {
+		t.Errorf("re-indexed tokens missing: %v", hits)
+	}
+	if ix.Docs() != 1 {
+		t.Errorf("docs = %d", ix.Docs())
+	}
+}
+
+func TestRemoveContentKeepsScriptMetadata(t *testing.T) {
+	ix := NewIndex()
+	ix.IndexScript("cs101", "Intro", "Shih", nil)
+	ix.IndexHTML("u1", "a.html", []byte("<body>bodyword</body>"))
+	ix.IndexProgram("u1", "x.js", "", []byte("progword"))
+	ix.RemoveContent("u1")
+	if hits := ix.Search(Query{Terms: []string{"bodyword"}}); len(hits) != 0 {
+		t.Errorf("html survived RemoveContent: %v", hits)
+	}
+	if hits := ix.Search(Query{Terms: []string{"progword"}}); len(hits) != 0 {
+		t.Errorf("program survived RemoveContent: %v", hits)
+	}
+	if hits := ix.Search(Query{Terms: []string{"intro"}}); len(hits) != 1 {
+		t.Errorf("script metadata lost with the content: %v", hits)
+	}
+	ix.RemoveScript("cs101")
+	if hits := ix.Search(Query{Terms: []string{"intro"}}); len(hits) != 0 {
+		t.Errorf("script survived RemoveScript: %v", hits)
+	}
+	if ix.Docs() != 0 {
+		t.Errorf("docs = %d", ix.Docs())
+	}
+}
+
+func TestRankTrimsToTopK(t *testing.T) {
+	ix := NewIndex()
+	for i := 0; i < 30; i++ {
+		ix.IndexHTML("u1", fmt.Sprintf("p%02d.html", i), []byte("<body>common</body>"))
+	}
+	if hits := ix.Search(Query{Terms: []string{"common"}, TopK: 7}); len(hits) != 7 {
+		t.Errorf("topK=7 returned %d hits", len(hits))
+	}
+	if hits := ix.Search(Query{Terms: []string{"common"}}); len(hits) != DefaultTopK {
+		t.Errorf("default topK returned %d hits", len(hits))
+	}
+}
+
+func TestMergeDedupsReplicasKeepingLowestStation(t *testing.T) {
+	a := []Hit{{Key: "html:u#p", Score: 10, Station: 5}}
+	b := []Hit{{Key: "html:u#p", Score: 10, Station: 2}, {Key: "html:u#q", Score: 4, Station: 7}}
+	merged := Merge(10, a, b)
+	if len(merged) != 2 {
+		t.Fatalf("merged = %v", merged)
+	}
+	if merged[0].Key != "html:u#p" || merged[0].Station != 2 {
+		t.Errorf("replica dedup = %+v", merged[0])
+	}
+	if merged[1].Key != "html:u#q" {
+		t.Errorf("merged[1] = %+v", merged[1])
+	}
+}
+
+// TestScanSearchAgreesWithIndexed is the content-layer differential
+// property test: over randomized corpora and queries (including
+// phrases), the inverted index and the linear scan must produce
+// bit-identical ranked results.
+func TestScanSearchAgreesWithIndexed(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vocab := make([]string, 40)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("w%02d", i)
+	}
+	for trial := 0; trial < 50; trial++ {
+		ix := NewIndex()
+		nDocs := 1 + rng.Intn(40)
+		for d := 0; d < nDocs; d++ {
+			nTok := 1 + rng.Intn(30)
+			text := ""
+			for w := 0; w < nTok; w++ {
+				text += vocab[rng.Intn(len(vocab))] + " "
+			}
+			switch d % 3 {
+			case 0:
+				ix.IndexHTML(fmt.Sprintf("u%d", d%4), fmt.Sprintf("p%d.html", d), []byte("<body>"+text+"</body>"))
+			case 1:
+				ix.IndexProgram(fmt.Sprintf("u%d", d%4), fmt.Sprintf("p%d.js", d), "js", []byte(text))
+			default:
+				ix.IndexScript(fmt.Sprintf("s%d", d), text, "author", nil)
+			}
+		}
+		for q := 0; q < 20; q++ {
+			nTerms := 1 + rng.Intn(3)
+			terms := make([]string, nTerms)
+			for i := range terms {
+				terms[i] = vocab[rng.Intn(len(vocab))]
+			}
+			query := Query{Terms: terms, Phrase: rng.Intn(3) == 0, TopK: 1 + rng.Intn(50)}
+			fast := ix.Search(query)
+			slow := ix.ScanSearch(query)
+			if !reflect.DeepEqual(fast, slow) {
+				t.Fatalf("trial %d query %+v:\nindex = %v\nscan  = %v", trial, query, fast, slow)
+			}
+		}
+	}
+}
+
+// TestConcurrentIndexAndSearch exercises the index mutex under the
+// race detector: writers re-indexing while readers query.
+func TestConcurrentIndexAndSearch(t *testing.T) {
+	ix := NewIndex()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ix.IndexHTML(fmt.Sprintf("u%d", w), fmt.Sprintf("p%d.html", i%10),
+					[]byte(fmt.Sprintf("<body>common token%d round%d</body>", w, i)))
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ix.Search(Query{Terms: []string{"common"}})
+			}
+		}()
+	}
+	wg.Wait()
+	if hits := ix.Search(Query{Terms: []string{"common"}, TopK: 100}); len(hits) != 40 {
+		t.Errorf("final corpus = %d docs in hits, want 40", len(hits))
+	}
+}

@@ -2,7 +2,9 @@
 // library (section 5): "the searching and retrieve processes are
 // running under a standard Web browser." It serves plain HTML over
 // net/http: the catalog, a search form over keywords / instructor /
-// course number, document pages with their files and media, and
+// course number — plus a full-text mode over the station's content
+// index and a federated mode that scatter-gathers the whole
+// distribution fabric — document pages with their files and media, and
 // check-out / check-in actions whose ledger feeds assessment.
 package webui
 
@@ -10,22 +12,35 @@ import (
 	"fmt"
 	"html"
 	"net/http"
+	"net/url"
 	"strings"
 
 	"repro/internal/docdb"
 	"repro/internal/library"
+	"repro/internal/search"
 )
 
 // Server renders the virtual library over HTTP.
 type Server struct {
 	Library *library.Library
 	Store   *docdb.Store
-	mux     *http.ServeMux
+	// Searcher answers local full-text queries (the station's content
+	// index); nil hides the full-text mode.
+	Searcher search.Searcher
+	// Federated answers federation-wide full-text queries through the
+	// distribution fabric; nil hides the federated mode.
+	Federated func(q search.Query) ([]search.Hit, error)
+	mux       *http.ServeMux
 }
 
 // New wires the handler tree.
 func New(lib *library.Library, store *docdb.Store) *Server {
 	s := &Server{Library: lib, Store: store, mux: http.NewServeMux()}
+	// The station's content index doubles as the default local
+	// full-text searcher when one is attached.
+	if ix, ok := store.ContentIndex().(search.Searcher); ok {
+		s.Searcher = ix
+	}
 	s.mux.HandleFunc("/", s.handleHome)
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/doc/", s.handleDoc)
@@ -38,6 +53,13 @@ func New(lib *library.Library, store *docdb.Store) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// docHref builds a safe href to a document page: the script name is
+// path-escaped (so separators and query metacharacters survive the
+// round trip) and then HTML-escaped for the attribute context.
+func docHref(scriptName string) string {
+	return "/doc/" + html.EscapeString(url.PathEscape(scriptName))
 }
 
 func (s *Server) page(w http.ResponseWriter, title string, body func(*strings.Builder)) {
@@ -53,22 +75,54 @@ func (s *Server) page(w http.ResponseWriter, title string, body func(*strings.Bu
 	fmt.Fprint(w, sb.String())
 }
 
+// searchForm renders the query form shared by the home and results
+// pages. The mode selector offers full-text and federated search only
+// when the server has the corresponding backend.
+func (s *Server) searchForm(sb *strings.Builder, mode string, phrase bool) {
+	sb.WriteString(`<form action="/search" method="GET">
+keywords <input name="kw">
+instructor <input name="instructor">
+course <input name="course">
+<select name="mode">`)
+	modes := [][2]string{{"catalog", "catalog metadata"}}
+	if s.Searcher != nil {
+		modes = append(modes, [2]string{"content", "full text (this station)"})
+	}
+	if s.Federated != nil {
+		modes = append(modes, [2]string{"federated", "full text (whole federation)"})
+	}
+	for _, m := range modes {
+		sel := ""
+		if m[0] == mode {
+			sel = " selected"
+		}
+		fmt.Fprintf(sb, `<option value="%s"%s>%s</option>`, m[0], sel, m[1])
+	}
+	sb.WriteString("</select>")
+	if s.Searcher != nil || s.Federated != nil {
+		checked := ""
+		if phrase {
+			checked = " checked"
+		}
+		fmt.Fprintf(sb, `
+exact phrase <input type="checkbox" name="phrase" value="1"%s>`, checked)
+	}
+	sb.WriteString(`
+<input type="submit" value="Search">
+</form>`)
+}
+
 func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
 	s.page(w, "Virtual course library", func(sb *strings.Builder) {
-		sb.WriteString(`<form action="/search" method="GET">
-keywords <input name="kw">
-instructor <input name="instructor">
-course <input name="course">
-<input type="submit" value="Search">
-</form>
-<h2>Catalog</h2><ul>`)
+		s.searchForm(sb, "catalog", false)
+		sb.WriteString(`<h2>Catalog</h2><ul>`)
 		for _, e := range s.Library.Catalog() {
-			fmt.Fprintf(sb, `<li><a href="/doc/%s">%s</a> — %s (%s, %s)</li>`,
-				html.EscapeString(e.ScriptName), html.EscapeString(e.ScriptName),
+			fmt.Fprintf(sb, `<li><a href="%s">%s</a> — %s (%s, %s)</li>`,
+				docHref(e.ScriptName), html.EscapeString(e.ScriptName),
 				html.EscapeString(e.Title), html.EscapeString(e.CourseNumber),
 				html.EscapeString(e.Instructor))
 		}
@@ -77,27 +131,94 @@ course <input name="course">
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	mode := r.URL.Query().Get("mode")
+	kw := strings.Fields(strings.TrimSpace(r.URL.Query().Get("kw")))
+	switch mode {
+	case "content", "federated":
+		s.handleFullText(w, r, mode, kw)
+		return
+	}
 	q := library.Query{
 		Instructor: r.URL.Query().Get("instructor"),
 		Course:     r.URL.Query().Get("course"),
-	}
-	if kw := strings.TrimSpace(r.URL.Query().Get("kw")); kw != "" {
-		q.Keywords = strings.Fields(kw)
+		Keywords:   kw,
 	}
 	hits := s.Library.Search(q)
 	s.page(w, "Search results", func(sb *strings.Builder) {
+		s.searchForm(sb, "catalog", false)
 		fmt.Fprintf(sb, "<p>%d hit(s)</p><ol>", len(hits))
 		for _, h := range hits {
-			fmt.Fprintf(sb, `<li><a href="/doc/%s">%s</a> — %s (score %d)</li>`,
-				html.EscapeString(h.Entry.ScriptName), html.EscapeString(h.Entry.ScriptName),
+			fmt.Fprintf(sb, `<li><a href="%s">%s</a> — %s (score %d)</li>`,
+				docHref(h.Entry.ScriptName), html.EscapeString(h.Entry.ScriptName),
 				html.EscapeString(h.Entry.Title), h.Score)
 		}
 		sb.WriteString("</ol>")
 	})
 }
 
+// handleFullText serves the content and federated search modes: ranked
+// hits with extracted snippets, each station-stamped in federated
+// mode.
+func (s *Server) handleFullText(w http.ResponseWriter, r *http.Request, mode string, terms []string) {
+	q := search.Query{Terms: terms, Phrase: r.URL.Query().Get("phrase") != ""}
+	var hits []search.Hit
+	var err error
+	switch mode {
+	case "federated":
+		if s.Federated == nil {
+			http.Error(w, "no distribution fabric attached", http.StatusNotFound)
+			return
+		}
+		hits, err = s.Federated(q)
+	default:
+		if s.Searcher == nil {
+			http.Error(w, "no content index attached", http.StatusNotFound)
+			return
+		}
+		hits = s.Searcher.Search(q)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	title := "Full-text results"
+	if mode == "federated" {
+		title = "Federated full-text results"
+	}
+	s.page(w, title, func(sb *strings.Builder) {
+		s.searchForm(sb, mode, q.Phrase)
+		fmt.Fprintf(sb, "<p>%d hit(s)</p><ol>", len(hits))
+		for _, h := range hits {
+			where := ""
+			if h.Station > 0 {
+				where = fmt.Sprintf(" @station %d", h.Station)
+			}
+			switch h.Kind {
+			case search.KindScript:
+				fmt.Fprintf(sb, `<li><a href="%s">%s</a> <em>catalog</em>%s`,
+					docHref(h.Path), html.EscapeString(h.Path), html.EscapeString(where))
+			default:
+				fmt.Fprintf(sb, `<li>%s <code>%s</code> <em>%s</em>%s`,
+					html.EscapeString(h.URL), html.EscapeString(h.Path),
+					html.EscapeString(h.Kind), html.EscapeString(where))
+			}
+			if h.Snippet != "" {
+				fmt.Fprintf(sb, `<br>&hellip; %s &hellip;`, html.EscapeString(h.Snippet))
+			}
+			sb.WriteString("</li>")
+		}
+		sb.WriteString("</ol>")
+	})
+}
+
 func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
-	name := strings.TrimPrefix(r.URL.Path, "/doc/")
+	// The link side path-escapes script names, so decode from the raw
+	// escaped path: a name containing '/' or '?' must arrive intact.
+	name, err := url.PathUnescape(strings.TrimPrefix(r.URL.EscapedPath(), "/doc/"))
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
 	sc, err := s.Store.Script(name)
 	if err != nil {
 		http.NotFound(w, r)

@@ -14,13 +14,18 @@ import (
 	"repro/internal/docdb"
 	"repro/internal/library"
 	"repro/internal/relstore"
+	"repro/internal/search"
 )
 
-// newServer builds the UI over a two-course library.
+// newServer builds the UI over a two-course library with a content
+// index attached, as webdocd wires it.
 func newServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
 	store, err := docdb.Open(relstore.NewDB(), blob.NewStore())
 	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := search.Attach(store); err != nil {
 		t.Fatal(err)
 	}
 	base := time.Date(1999, 4, 21, 8, 0, 0, 0, time.UTC)
@@ -207,6 +212,121 @@ func TestEscapingAgainstInjection(t *testing.T) {
 	_, body := get(t, ts.URL+"/search?kw="+url.QueryEscape("<script>alert(1)</script>"))
 	if strings.Contains(body, "<script>alert") {
 		t.Error("unescaped query echoed into HTML")
+	}
+}
+
+// TestHostileScriptNameEscapedEverywhere is the regression test for
+// the raw-interpolation bug: a script name full of HTML and URL
+// metacharacters must render inert on the home page and in search
+// results, and the generated link must round-trip back to the doc
+// page.
+func TestHostileScriptNameEscapedEverywhere(t *testing.T) {
+	srv, ts := newServer(t)
+	hostile := `pwn"><script>alert(1)</script> a/b?c#d`
+	if err := srv.Store.CreateScript(docdb.Script{
+		Name: hostile, DBName: "mmu", Author: "Shih",
+		Description: "Hostile <title> & co", Keywords: []string{"hostile"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Library.Add(hostile, "XX-666", "Shih"); err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []string{"/", "/search?kw=hostile"} {
+		code, body := get(t, ts.URL+target)
+		if code != http.StatusOK {
+			t.Fatalf("%s code = %d", target, code)
+		}
+		if strings.Contains(body, "<script>alert") {
+			t.Errorf("%s: hostile script name escaped the HTML context:\n%s", target, body)
+		}
+		if strings.Contains(body, `href="/doc/pwn"`) {
+			t.Errorf("%s: hostile name truncated the href attribute", target)
+		}
+	}
+	// The link the catalog renders must reach the document page intact:
+	// path-escaped, so the '/', '?' and '#' survive routing.
+	_, body := get(t, ts.URL+"/")
+	re := regexp.MustCompile(`href="(/doc/[^"]*pwn[^"]*)"`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("no catalog link for the hostile script:\n%s", body)
+	}
+	href := strings.ReplaceAll(m[1], "&amp;", "&")
+	code, docBody := get(t, ts.URL+href)
+	if code != http.StatusOK {
+		t.Fatalf("hostile doc link %s -> %d", href, code)
+	}
+	if !strings.Contains(docBody, "Hostile &lt;title&gt; &amp; co") {
+		t.Errorf("doc page did not render the escaped description:\n%s", docBody)
+	}
+	if strings.Contains(docBody, "<script>alert") {
+		t.Error("doc page leaked the hostile name unescaped")
+	}
+}
+
+func TestFullTextSearchModeWithSnippets(t *testing.T) {
+	srv, ts := newServer(t)
+	if err := srv.Store.PutHTML("http://mmu/cs101/v1", "lecture2.html",
+		[]byte("<html><body>the watermark frequency decides when replication pays off</body></html>")); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, ts.URL+"/search?mode=content&kw=watermark")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(body, "lecture2.html") {
+		t.Errorf("full-text hit missing:\n%s", body)
+	}
+	if !strings.Contains(body, "the watermark frequency decides when") {
+		t.Errorf("snippet missing:\n%s", body)
+	}
+	// Catalog metadata rides in the same index: the script hit links to
+	// its doc page.
+	_, body = get(t, ts.URL+"/search?mode=content&kw=multimedia")
+	if !strings.Contains(body, `href="/doc/mm201"`) {
+		t.Errorf("script hit not linked:\n%s", body)
+	}
+	// Phrase mode narrows.
+	_, body = get(t, ts.URL+"/search?mode=content&phrase=1&kw="+url.QueryEscape("watermark frequency"))
+	if !strings.Contains(body, "1 hit(s)") {
+		t.Errorf("phrase search body:\n%s", body)
+	}
+	_, body = get(t, ts.URL+"/search?mode=content&phrase=1&kw="+url.QueryEscape("frequency watermark"))
+	if !strings.Contains(body, "0 hit(s)") {
+		t.Errorf("reversed phrase body:\n%s", body)
+	}
+	// The form exposes the phrase control and keeps it checked on the
+	// results page, so resubmission preserves the constraint.
+	if !strings.Contains(body, `name="phrase" value="1" checked`) {
+		t.Errorf("phrase checkbox not rendered checked:\n%s", body)
+	}
+	_, body = get(t, ts.URL+"/search?mode=content&kw=watermark")
+	if !strings.Contains(body, `name="phrase" value="1">`) || strings.Contains(body, "checked") {
+		t.Errorf("phrase checkbox state wrong for non-phrase query:\n%s", body)
+	}
+}
+
+func TestFederatedSearchModeUsesHook(t *testing.T) {
+	srv, ts := newServer(t)
+	srv.Federated = func(q search.Query) ([]search.Hit, error) {
+		return []search.Hit{{
+			Key: "html:u#p.html", Kind: search.KindHTML, URL: "u", Path: "p.html",
+			Score: 1, Station: 7, Snippet: "remote snippet <b>",
+		}}, nil
+	}
+	code, body := get(t, ts.URL+"/search?mode=federated&kw=anything")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(body, "@station 7") || !strings.Contains(body, "remote snippet &lt;b&gt;") {
+		t.Errorf("federated body:\n%s", body)
+	}
+	// Without the hook the mode is refused.
+	srv.Federated = nil
+	code, _ = get(t, ts.URL+"/search?mode=federated&kw=x")
+	if code != http.StatusNotFound {
+		t.Errorf("federated without fabric code = %d", code)
 	}
 }
 
