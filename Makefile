@@ -3,7 +3,7 @@ GO ?= go
 # The targets below are exactly what .github/workflows/ci.yml runs, so a
 # green `make ci` locally means a green CI run.
 
-.PHONY: build vet fmt-check test race race-fabric fuzz-smoke bench bench-check ci
+.PHONY: build vet fmt-check test race race-fabric fuzz-smoke bench bench-check load-smoke ci
 
 build:
 	$(GO) build ./...
@@ -54,4 +54,11 @@ bench:
 bench-check:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: build vet fmt-check test race race-fabric fuzz-smoke bench-check
+# A ~10-second compressed load run against a self-hosted 3-station
+# fabric: webdocload replays examples/loadprofiles/ci-smoke.yaml and
+# exits non-zero if any SLO fails. The report lands in
+# BENCH_load_ci-smoke.json (uploaded as a CI artifact).
+load-smoke:
+	$(GO) run ./cmd/webdocload -profile examples/loadprofiles/ci-smoke.yaml
+
+ci: build vet fmt-check test race race-fabric fuzz-smoke bench-check load-smoke

@@ -6,9 +6,11 @@
 //	mmubench              # run every experiment at full scale
 //	mmubench -e e4        # run one experiment (e1..e11)
 //	mmubench -scale small # the fast sizes used by the unit tests
+//	mmubench -e e8 -json  # emit the table(s) as JSON for scripts
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,8 +20,9 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("e", "", "experiment id (e1..e11); empty runs all")
-		scale = flag.String("scale", "full", "experiment scale: small or full")
+		exp     = flag.String("e", "", "experiment id (e1..e11); empty runs all")
+		scale   = flag.String("scale", "full", "experiment scale: small or full")
+		jsonOut = flag.Bool("json", false, "print tables as indented JSON instead of text")
 	)
 	flag.Parse()
 
@@ -44,7 +47,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mmubench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println(table.Render())
+		output([]*experiments.Table{table}, *jsonOut)
 		return
 	}
 
@@ -53,7 +56,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mmubench: %v\n", err)
 		os.Exit(1)
 	}
-	for _, t := range tables {
-		fmt.Println(t.Render())
+	output(tables, *jsonOut)
+}
+
+// output renders tables as text or, with -json, as one JSON array —
+// the machine-readable surface shared with webdocctl -json.
+func output(tables []*experiments.Table, jsonOut bool) {
+	if !jsonOut {
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tables); err != nil {
+		fmt.Fprintf(os.Stderr, "mmubench: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	webdocctl -addr 127.0.0.1:7070 ping
+//	webdocctl -addr 127.0.0.1:7070 stats
 //	webdocctl -addr 127.0.0.1:7070 sql "SELECT * FROM scripts"
 //	webdocctl -addr 127.0.0.1:7070 tables
 //	webdocctl -addr 127.0.0.1:7070 checkpoint
@@ -17,6 +18,11 @@
 //	webdocctl -addr 127.0.0.1:7070 evict 3
 //	webdocctl -addr 127.0.0.1:7072 -k 5 search watermark frequency
 //
+// Every verb takes the station through the global -addr flag and
+// supports -json, which prints the station's raw typed reply as
+// indented JSON — the machine-readable surface scripts and the load
+// harness build on. Field names match the RPC reply structs.
+//
 // "pull URL TARGET" copies a document bundle from the -addr station to
 // the TARGET station (pre-broadcast of a single document by hand). The
 // topology/broadcast/resolve/migrate verbs drive a live distribution
@@ -25,6 +31,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,11 +44,15 @@ import (
 	"repro/internal/mtree"
 )
 
+// jsonOut switches every verb from human rendering to indented JSON.
+var jsonOut bool
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "station address")
 	refsOnly := flag.Bool("refs", false, "broadcast: push document references instead of full instances")
 	topK := flag.Int("k", 10, "search: maximum hits to return")
 	phrase := flag.Bool("phrase", false, "search: require the terms as a consecutive phrase")
+	flag.BoolVar(&jsonOut, "json", false, "print the raw typed reply as indented JSON")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -68,11 +79,26 @@ func main() {
 		if err != nil {
 			fail("ping: %v", err)
 		}
+		if emit(info) {
+			return
+		}
 		fmt.Printf("station %d: %d tables, %d document objects\n", info.Pos, len(info.Tables), info.Objects)
+	case "stats":
+		reply, err := rs.Stats()
+		if err != nil {
+			fail("stats: %v", err)
+		}
+		if emit(reply) {
+			return
+		}
+		printStats(reply)
 	case "tables":
 		info, err := rs.Ping()
 		if err != nil {
 			fail("ping: %v", err)
+		}
+		if emit(info.Tables) {
+			return
 		}
 		for _, t := range info.Tables {
 			fmt.Println(t)
@@ -85,11 +111,17 @@ func main() {
 		if err != nil {
 			fail("sql: %v", err)
 		}
+		if emit(reply) {
+			return
+		}
 		printSQL(reply)
 	case "checkpoint":
 		reply, err := rs.Checkpoint()
 		if err != nil {
 			fail("checkpoint: %v", err)
+		}
+		if emit(reply) {
+			return
 		}
 		fmt.Printf("checkpoint generation %d: %d snapshot bytes, wal seq %d\n", reply.Gen, reply.Bytes, reply.Seq)
 	case "pull":
@@ -110,6 +142,15 @@ func main() {
 		if err != nil {
 			fail("import: %v", err)
 		}
+		if emit(struct {
+			URL      string
+			Target   string
+			ObjectID string
+			Form     string
+			Bytes    int64
+		}{url, target, reply.ObjectID, reply.Form, bundle.TotalBytes()}) {
+			return
+		}
 		fmt.Printf("pulled %s to %s: object %s (%s), %d bytes\n",
 			url, target, reply.ObjectID, reply.Form, bundle.TotalBytes())
 	default:
@@ -129,6 +170,9 @@ func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool)
 		res, err := admin.Search(args[1:], phrase, topK)
 		if err != nil {
 			fail("search: %v", err)
+		}
+		if emit(res) {
+			return
 		}
 		dead := 0
 		for _, sr := range res.Stations {
@@ -159,6 +203,9 @@ func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool)
 		if err != nil {
 			fail("topology: %v", err)
 		}
+		if emit(top) {
+			return
+		}
 		role := "station"
 		if top.IsRoot {
 			role = "root"
@@ -184,6 +231,9 @@ func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool)
 		if err != nil {
 			fail("broadcast: %v", err)
 		}
+		if emit(res) {
+			return
+		}
 		what := "instances"
 		if res.RefOnly {
 			what = "references"
@@ -204,6 +254,9 @@ func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool)
 		if err != nil {
 			fail("resolve: %v", err)
 		}
+		if emit(res) {
+			return
+		}
 		switch {
 		case res.Local:
 			fmt.Printf("resolved %s locally\n", res.URL)
@@ -222,6 +275,9 @@ func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool)
 		if err != nil {
 			fail("migrate: %v", err)
 		}
+		if emit(res) {
+			return
+		}
 		fmt.Printf("migrated %d station(s), reclaimed %d bytes\n", len(res.Stations), res.Freed)
 		for _, sr := range res.Stations {
 			if sr.Err != "" {
@@ -234,6 +290,9 @@ func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool)
 		health, err := admin.Health()
 		if err != nil {
 			fail("health: %v", err)
+		}
+		if emit(health) {
+			return
 		}
 		printHealth(health)
 	case "evict":
@@ -248,8 +307,57 @@ func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool)
 		if err != nil {
 			fail("evict: %v", err)
 		}
+		if emit(health) {
+			return
+		}
 		fmt.Printf("station %d evicted\n", pos)
 		printHealth(health)
+	}
+}
+
+// emit prints v as indented JSON when -json is set, reporting whether
+// it handled the output.
+func emit(v any) bool {
+	if !jsonOut {
+		return false
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail("encoding json: %v", err)
+	}
+	return true
+}
+
+// printStats renders the unified station snapshot.
+func printStats(s cluster.StatsReply) {
+	fmt.Printf("station %d: %d tables, %d document objects\n", s.Pos, s.Tables, s.Objects)
+	fmt.Printf("  wire      %d bytes in, %d bytes out\n", s.BytesIn, s.BytesOut)
+	if len(s.Ops) > 0 {
+		methods := make([]string, 0, len(s.Ops))
+		for m := range s.Ops {
+			methods = append(methods, m)
+		}
+		sort.Strings(methods)
+		fmt.Printf("  ops       ")
+		for i, m := range methods {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s=%d", m, s.Ops[m])
+		}
+		fmt.Println()
+	}
+	if s.Durable {
+		fmt.Printf("  wal       checkpoint gen %d, seq %d, %d tail bytes\n", s.CheckpointGen, s.WALSeq, s.WALTailBytes)
+	} else {
+		fmt.Printf("  wal       in-memory (no durability directory)\n")
+	}
+	fmt.Printf("  blobs     %d objects, %d physical bytes (%d logical)\n", s.BlobObjects, s.PhysicalBytes, s.LogicalBytes)
+	if s.Indexed {
+		fmt.Printf("  index     %d docs, %d terms, %d postings\n", s.IndexDocs, s.IndexTerms, s.IndexPostings)
+	} else {
+		fmt.Printf("  index     none attached\n")
 	}
 }
 
@@ -324,9 +432,10 @@ func printSQL(reply cluster.SQLReply) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: webdocctl [-addr host:port] [-refs] COMMAND
+	fmt.Fprintln(os.Stderr, `usage: webdocctl [-addr host:port] [-json] [-refs] [-k N] [-phrase] COMMAND
 commands:
   ping                 station status
+  stats                unified station accounting (ops, bytes, WAL, blobs, index)
   tables               list relational tables
   sql "STATEMENT"      run a minisql statement
   checkpoint           write a checkpoint generation now (compacts the WAL tail)
@@ -337,7 +446,8 @@ commands:
   migrate URL          post-lecture migration back to references (root)
   health               show per-station liveness (root view is authoritative)
   evict POS            force-mark a station dead on the root (heartbeats revive it if it still answers)
-  search TERM...       federation-wide full-text query ([-k N] hits, [-phrase] exact phrase)`)
+  search TERM...       federation-wide full-text query ([-k N] hits, [-phrase] exact phrase)
+flags apply to every command; -json prints the raw typed reply as indented JSON`)
 	os.Exit(2)
 }
 

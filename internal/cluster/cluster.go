@@ -130,21 +130,11 @@ func (c *Cluster) Now() time.Duration { return c.sim.Now() }
 func (c *Cluster) WireBytes() int64 { return c.sim.Stats().TotalBytes }
 
 // AuthorCourse builds a course on the instructor station (station 1),
-// records the persistent instance, and declares its reusable class.
+// records the persistent instance, and declares its reusable class —
+// the shared workload generator's authoring sequence, so simulated
+// and deployed corpora match.
 func (c *Cluster) AuthorCourse(spec workload.CourseSpec) (workload.Course, docdb.DocObject, error) {
-	root := c.stations[0]
-	course, err := workload.BuildCourse(root.Store, spec)
-	if err != nil {
-		return workload.Course{}, docdb.DocObject{}, err
-	}
-	inst, err := root.Store.NewInstance(spec.URL, 1, true)
-	if err != nil {
-		return workload.Course{}, docdb.DocObject{}, err
-	}
-	if _, err := root.Store.DeclareClass(inst.ID); err != nil {
-		return workload.Course{}, docdb.DocObject{}, err
-	}
-	return course, inst, nil
+	return workload.AuthorCourse(c.stations[0].Store, spec)
 }
 
 // BroadcastReferences mirrors the new instance to every station as a

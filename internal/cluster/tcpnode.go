@@ -63,6 +63,25 @@ type SearchLocalReply struct {
 	Hits []search.Hit
 }
 
+// CheckOutRequest opens a checkout of a course component on the
+// station's configuration-management ledger.
+type CheckOutRequest struct {
+	Kind     string
+	ObjectID string
+	User     string
+}
+
+// CheckOutReply carries the checkout id CheckIn closes.
+type CheckOutReply struct {
+	CheckoutID string
+}
+
+// CheckInRequest closes a checkout, recording a new component version.
+type CheckInRequest struct {
+	CheckoutID string
+	Comment    string
+}
+
 // CheckpointReply reports a checkpoint generation the station wrote on
 // request.
 type CheckpointReply struct {
@@ -92,6 +111,9 @@ func NewNode(pos int, store *docdb.Store) *Node {
 	n.srv.Handle("SQL", n.handleSQL)
 	n.srv.Handle("Checkpoint", n.handleCheckpoint)
 	n.srv.Handle("SearchLocal", n.handleSearchLocal)
+	n.srv.Handle("Stats", n.handleStats)
+	n.srv.Handle("CheckOut", n.handleCheckOut)
+	n.srv.Handle("CheckIn", n.handleCheckIn)
 	return n
 }
 
@@ -211,6 +233,34 @@ func (n *Node) handleSearchLocal(decode func(any) error) (any, error) {
 	return SearchLocalReply{Hits: hits}, nil
 }
 
+// handleCheckOut opens a checkout on the station's ledger — the wire
+// form of docdb.CheckOut, so remote class administrators (and the
+// load harness's editing traffic) contend on the same transactional
+// single-winner semantics as local callers.
+func (n *Node) handleCheckOut(decode func(any) error) (any, error) {
+	var req CheckOutRequest
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	id, err := n.Store.CheckOut(req.Kind, req.ObjectID, req.User)
+	if err != nil {
+		return nil, err
+	}
+	return CheckOutReply{CheckoutID: id}, nil
+}
+
+// handleCheckIn closes a checkout, bumping the component version.
+func (n *Node) handleCheckIn(decode func(any) error) (any, error) {
+	var req CheckInRequest
+	if err := decode(&req); err != nil {
+		return nil, err
+	}
+	if err := n.Store.CheckIn(req.CheckoutID, req.Comment); err != nil {
+		return nil, err
+	}
+	return struct{}{}, nil
+}
+
 func (n *Node) handleSQL(decode func(any) error) (any, error) {
 	var req SQLRequest
 	if err := decode(&req); err != nil {
@@ -290,6 +340,19 @@ func (r *RemoteStation) Checkpoint() (CheckpointReply, error) {
 	var reply CheckpointReply
 	err := r.c.Call("Checkpoint", struct{}{}, &reply)
 	return reply, err
+}
+
+// CheckOut opens a checkout of a course component on the station.
+func (r *RemoteStation) CheckOut(kind, objectID, user string) (string, error) {
+	var reply CheckOutReply
+	err := r.c.Call("CheckOut", CheckOutRequest{Kind: kind, ObjectID: objectID, User: user}, &reply)
+	return reply.CheckoutID, err
+}
+
+// CheckIn closes a checkout on the station.
+func (r *RemoteStation) CheckIn(checkoutID, comment string) error {
+	var reply struct{}
+	return r.c.Call("CheckIn", CheckInRequest{CheckoutID: checkoutID, Comment: comment}, &reply)
 }
 
 // SearchLocal queries the station's own content index.

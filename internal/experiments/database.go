@@ -7,13 +7,10 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/blob"
-	"repro/internal/docdb"
 	"repro/internal/integrity"
 	"repro/internal/library"
 	"repro/internal/locking"
 	"repro/internal/mtree"
-	"repro/internal/relstore"
 	"repro/internal/schema"
 	"repro/internal/workload"
 )
@@ -104,46 +101,15 @@ func E7Integrity(scale Scale) (*Table, error) {
 		Header: []string{"updated kind", "alerts", "max depth"},
 		Notes:  []string{fmt.Sprintf("%d scripts x %d implementations, each with pages, media, tests, bugs, annotations", scripts, implsPer)},
 	}
-	store, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+	// The corpus comes from the shared workload generator, so the QA
+	// web measured here is byte-identical to the one other bench entry
+	// points (webdocload, the unit benchmarks) construct.
+	store, err := workload.NewStore()
 	if err != nil {
 		return nil, err
 	}
-	store.Now = func() time.Time { return time.Date(1999, 4, 21, 0, 0, 0, 0, time.UTC) }
-	if err := store.CreateDatabase(docdb.Database{Name: "mmu"}); err != nil {
+	if err := workload.BuildQACorpus(store, workload.DefaultQACorpusSpec(scripts, implsPer)); err != nil {
 		return nil, err
-	}
-	for s := 0; s < scripts; s++ {
-		script := fmt.Sprintf("script-%03d", s)
-		if err := store.CreateScript(docdb.Script{Name: script, DBName: "mmu"}); err != nil {
-			return nil, err
-		}
-		for i := 0; i < implsPer; i++ {
-			url := fmt.Sprintf("http://mmu/%s/v%d", script, i)
-			if err := store.AddImplementation(docdb.Implementation{StartingURL: url, ScriptName: script}); err != nil {
-				return nil, err
-			}
-			for p := 0; p < 4; p++ {
-				if err := store.PutHTML(url, workload.PagePath(p), []byte("<html><title>p</title></html>")); err != nil {
-					return nil, err
-				}
-			}
-			if err := store.PutProgram(url, "quiz.java", "java", []byte("x")); err != nil {
-				return nil, err
-			}
-			if _, err := store.AttachImplMedia(url, fmt.Sprintf("m-%s-%d.gif", script, i), blob.KindImage, []byte(url)); err != nil {
-				return nil, err
-			}
-			test := fmt.Sprintf("test-%s-%d", script, i)
-			if err := store.RecordTest(docdb.TestRecord{Name: test, ScriptName: script, StartingURL: url, Scope: "local"}); err != nil {
-				return nil, err
-			}
-			if err := store.FileBugReport(docdb.BugReport{Name: "bug-" + test, TestName: test}); err != nil {
-				return nil, err
-			}
-			if err := store.SaveAnnotation(docdb.Annotation{Name: "ann-" + test, ScriptName: script, StartingURL: url}); err != nil {
-				return nil, err
-			}
-		}
 	}
 	d := integrity.Default()
 	r := integrity.DocResolver{Store: store}
@@ -186,38 +152,21 @@ func E8Search(scale Scale) (*Table, error) {
 		Header: []string{"catalog", "queries", "indexed (ms)", "scan (ms)", "speedup"},
 		Notes:  []string{"2-keyword Zipf queries over a 5000-word vocabulary"},
 	}
-	vocab := workload.Vocabulary(5000)
 	for _, size := range sizes {
-		store, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+		// Catalog and query stream both come from the shared workload
+		// generator: one deterministic draw sequence, identical across
+		// bench entry points.
+		store, err := workload.NewStore()
 		if err != nil {
 			return nil, err
 		}
-		store.Now = func() time.Time { return time.Date(1999, 4, 21, 0, 0, 0, 0, time.UTC) }
-		if err := store.CreateDatabase(docdb.Database{Name: "mmu"}); err != nil {
+		lib := library.New(store)
+		spec := workload.DefaultCatalogSpec(size)
+		rng, err := workload.BuildCatalog(store, lib, spec)
+		if err != nil {
 			return nil, err
 		}
-		lib := library.New(store)
-		lib.RegisterInstructor("Shih")
-		rng := rand.New(rand.NewSource(5))
-		for d := 0; d < size; d++ {
-			script := fmt.Sprintf("course-%05d", d)
-			err := store.CreateScript(docdb.Script{
-				Name:     script,
-				DBName:   "mmu",
-				Author:   fmt.Sprintf("instructor-%d", d%50),
-				Keywords: workload.PickKeywords(rng, vocab, 4),
-			})
-			if err != nil {
-				return nil, err
-			}
-			if err := lib.Add(script, fmt.Sprintf("C-%05d", d), "Shih"); err != nil {
-				return nil, err
-			}
-		}
-		qs := make([]library.Query, queries)
-		for i := range qs {
-			qs[i] = library.Query{Keywords: workload.PickKeywords(rng, vocab, 2)}
-		}
+		qs := workload.CatalogQueries(rng, spec, queries, 2)
 		start := time.Now()
 		var hits int
 		for _, q := range qs {

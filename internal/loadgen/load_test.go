@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// The full harness path over real sockets: self-host a small fabric,
+// replay a compressed profile through the FabricTarget, and judge the
+// report — the in-process twin of `make load-smoke`.
+func TestHarnessAgainstSelfHostedFabric(t *testing.T) {
+	p, err := ParseProfile([]byte(`
+name: harness-e2e
+seed: 11
+time-scale: 300
+fabric:
+  stations: 4
+  m: 3
+  watermark: 2
+courses:
+  count: 3
+  pages: 4
+  extra-links: 1
+  images-per-page: 1
+phases:
+  - name: push
+    op: broadcast
+    start: 0s
+    duration: 1m
+    rate: 0.05
+  - name: storm
+    op: resolve
+    start: 1m
+    duration: 2m
+    rate: 0.15
+    clients: 2
+  - name: lookups
+    op: search
+    start: 2m
+    duration: 1m
+    rate: 0.1
+    top-k: 5
+  - name: edits
+    op: checkout
+    start: 0s
+    duration: 3m
+    rate: 0.05
+  - name: wrap-up
+    op: migrate
+    start: 3m
+    duration: 1m
+    rate: 0.02
+slos:
+  - op: resolve
+    p99: 30s
+    max-error-rate: 0
+  - op: search
+    p99: 30s
+    max-error-rate: 0
+  - op: broadcast
+    max-error-rate: 0
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := StartHost(p, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+
+	target, err := DialFabric(host.RootAddr(), p.Fabric.Stations, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+
+	plan := BuildPlan(p)
+	col, wall, err := Run(p, plan, target, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := target.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := BuildReport(p, col, wall, stats)
+	if !report.Pass {
+		t.Fatalf("harness run failed its SLOs: %+v", report.SLOs)
+	}
+	for kind, want := range plan.OpCounts() {
+		if got := report.Ops[kind].Count; got != int64(want) {
+			t.Errorf("report counts %d %s ops, plan has %d", got, kind, want)
+		}
+	}
+	if report.Ops["resolve"].Errors != 0 || report.Ops["search"].Errors != 0 {
+		t.Errorf("unexpected errors: %+v", report.Ops)
+	}
+	// The scrape covers every station, and the traffic left footprints:
+	// the root served broadcasts, somebody answered searches.
+	if len(report.StationStats) != p.Fabric.Stations {
+		t.Fatalf("scraped %d stations, fabric has %d", len(report.StationStats), p.Fabric.Stations)
+	}
+	var rpcs int64
+	for _, st := range report.StationStats {
+		for _, n := range st.Ops {
+			rpcs += n
+		}
+	}
+	if rpcs == 0 {
+		t.Error("station stats recorded no RPC activity at all")
+	}
+	if report.StationStats[0].Pos != 1 {
+		t.Errorf("first scraped station is pos %d, want the root", report.StationStats[0].Pos)
+	}
+}

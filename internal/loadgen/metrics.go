@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// The collector keeps every successful-op latency sample per op class
+// rather than bucketed histograms: a compressed day issues thousands
+// of ops, not millions, and exact percentiles make SLO verdicts
+// reproducible to the nanosecond for the determinism tests.
+
+// Collector aggregates op outcomes across all phase workers.
+type Collector struct {
+	mu      sync.Mutex
+	classes map[string]*opClass
+}
+
+type opClass struct {
+	count     int64
+	errors    int64
+	conflicts int64
+	bytes     int64
+	lag       time.Duration // total start lag behind the paced schedule
+	samples   []time.Duration
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{classes: map[string]*opClass{}}
+}
+
+func (c *Collector) class(op string) *opClass {
+	cl := c.classes[op]
+	if cl == nil {
+		cl = &opClass{}
+		c.classes[op] = cl
+	}
+	return cl
+}
+
+// Record notes one completed op. Conflicts (checkout contention) are a
+// workload outcome, not a failure, so they are tallied separately and
+// excluded from the error rate. Latency samples only cover successes —
+// a fast error must not improve a percentile.
+func (c *Collector) Record(op string, latency time.Duration, bytes int64, lag time.Duration, err error, conflict bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl := c.class(op)
+	cl.count++
+	cl.lag += lag
+	switch {
+	case conflict:
+		cl.conflicts++
+	case err != nil:
+		cl.errors++
+	default:
+		cl.bytes += bytes
+		cl.samples = append(cl.samples, latency)
+	}
+}
+
+// OpSummary is one op class's aggregate, JSON-shaped for the report.
+type OpSummary struct {
+	Count     int64 `json:"count"`
+	Errors    int64 `json:"errors"`
+	Conflicts int64 `json:"conflicts,omitempty"`
+	Bytes     int64 `json:"bytes"`
+
+	ErrorRate     float64 `json:"error_rate"`
+	WallOpsPerSec float64 `json:"throughput_wall_ops_per_sec"`
+	SimOpsPerSec  float64 `json:"throughput_sim_ops_per_sec"`
+
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+
+	// MeanLagMs is how far behind the paced schedule ops started on
+	// average — the harness's own health signal: a large lag means the
+	// driver could not sustain the profile's rate and latency numbers
+	// describe a slower effective load.
+	MeanLagMs float64 `json:"mean_sched_lag_ms"`
+}
+
+// Summarize folds the samples into per-class aggregates. wall is the
+// measured run time, sim the profile's simulated span.
+func (c *Collector) Summarize(wall, sim time.Duration) map[string]OpSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]OpSummary, len(c.classes))
+	for op, cl := range c.classes {
+		s := OpSummary{
+			Count:     cl.count,
+			Errors:    cl.errors,
+			Conflicts: cl.conflicts,
+			Bytes:     cl.bytes,
+		}
+		if cl.count > 0 {
+			s.ErrorRate = float64(cl.errors) / float64(cl.count)
+			s.MeanLagMs = ms(cl.lag / time.Duration(cl.count))
+		}
+		if wall > 0 {
+			s.WallOpsPerSec = float64(cl.count) / wall.Seconds()
+		}
+		if sim > 0 {
+			s.SimOpsPerSec = float64(cl.count) / sim.Seconds()
+		}
+		if n := len(cl.samples); n > 0 {
+			sorted := make([]time.Duration, n)
+			copy(sorted, cl.samples)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			var total time.Duration
+			for _, d := range sorted {
+				total += d
+			}
+			s.P50Ms = ms(percentile(sorted, 0.50))
+			s.P95Ms = ms(percentile(sorted, 0.95))
+			s.P99Ms = ms(percentile(sorted, 0.99))
+			s.MaxMs = ms(sorted[n-1])
+			s.MeanMs = ms(total / time.Duration(n))
+		}
+		out[op] = s
+	}
+	return out
+}
+
+// percentile is the nearest-rank percentile of a sorted sample set.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

@@ -1,0 +1,132 @@
+package loadgen
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleProfile = `
+name: sample
+seed: 9
+time-scale: 120
+fabric:
+  stations: 5
+  m: 2
+  watermark: 2
+courses:
+  count: 6
+  pages: 8
+  extra-links: 3
+  images-per-page: 1
+phases:
+  - name: push
+    op: broadcast
+    start: 0s
+    duration: 1m
+    rate: 0.1
+    clients: 1
+    refs-only: true
+  - name: storm
+    op: resolve
+    start: 1m
+    duration: 3m
+    rate: 0.5
+    clients: 3
+slos:
+  - op: resolve
+    p95: 800ms
+    max-error-rate: 0.01
+    min-throughput: 0.1
+`
+
+func TestParseProfile(t *testing.T) {
+	p, err := ParseProfile([]byte(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "sample" || p.Seed != 9 || p.TimeScale != 120 {
+		t.Errorf("header = %q/%d/%g", p.Name, p.Seed, p.TimeScale)
+	}
+	if p.Fabric != (FabricSpec{Stations: 5, M: 2, Watermark: 2}) {
+		t.Errorf("fabric = %+v", p.Fabric)
+	}
+	if p.Courses != (CourseLoad{Count: 6, Pages: 8, ExtraLinks: 3, ImagesPerPage: 1}) {
+		t.Errorf("courses = %+v", p.Courses)
+	}
+	if len(p.Phases) != 2 {
+		t.Fatalf("phases = %d", len(p.Phases))
+	}
+	want := Phase{Name: "push", Op: "broadcast", Duration: time.Minute,
+		Rate: 0.1, Clients: 1, RefsOnly: true, TopK: 10}
+	if p.Phases[0] != want {
+		t.Errorf("phases[0] = %+v, want %+v", p.Phases[0], want)
+	}
+	if p.Phases[1].Clients != 3 || p.Phases[1].Start != time.Minute {
+		t.Errorf("phases[1] = %+v", p.Phases[1])
+	}
+	if len(p.SLOs) != 1 {
+		t.Fatalf("slos = %d", len(p.SLOs))
+	}
+	slo := SLO{Op: "resolve", P95: 800 * time.Millisecond, MaxErrorRate: 0.01, MinThroughput: 0.1}
+	if p.SLOs[0] != slo {
+		t.Errorf("slos[0] = %+v, want %+v", p.SLOs[0], slo)
+	}
+	if got := p.SimDuration(); got != 4*time.Minute {
+		t.Errorf("SimDuration = %v", got)
+	}
+}
+
+// TestProfileRoundTrip pins ParseProfile(EncodeProfile(p)) == p.
+func TestProfileRoundTrip(t *testing.T) {
+	p, err := ParseProfile([]byte(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseProfile(EncodeProfile(p))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, EncodeProfile(p))
+	}
+	if !reflect.DeepEqual(p, again) {
+		t.Errorf("round trip changed the profile:\nbefore %+v\nafter  %+v", p, again)
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown-top", "bogus: 1\nphases:\n  - op: broadcast\n    duration: 1s\n    rate: 1", "unknown profile key"},
+		{"unknown-phase", "phases:\n  - op: broadcast\n    duration: 1s\n    rate: 1\n    warmup: 2", "unknown phases[0] key"},
+		{"bad-op", "phases:\n  - op: teleport\n    duration: 1s\n    rate: 1", "unknown op"},
+		{"no-phases", "name: x", "no phases"},
+		{"bad-rate", "phases:\n  - op: broadcast\n    duration: 1s\n    rate: zero", "bad number"},
+		{"bad-duration", "phases:\n  - op: broadcast\n    duration: fortnight\n    rate: 1", "bad duration"},
+		{"orphan-slo", "phases:\n  - op: broadcast\n    duration: 1s\n    rate: 1\nslos:\n  - op: resolve\n    p95: 1s", "no traffic phase"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseProfile([]byte(c.src))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestExampleProfilesParse keeps the shipped profiles loadable — the
+// CI smoke job and the README walkthrough both depend on them.
+func TestExampleProfilesParse(t *testing.T) {
+	for _, name := range []string{"ci-smoke.yaml", "semester-day.yaml"} {
+		p, err := LoadProfile(filepath.Join("..", "..", "examples", "loadprofiles", name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(p.Phases) == 0 || len(p.SLOs) == 0 {
+			t.Errorf("%s: %d phases, %d slos", name, len(p.Phases), len(p.SLOs))
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A minimal YAML subset, hand-rolled because the repo takes no
+// dependencies: block mappings, block sequences, scalars, `#`
+// comments, optional single/double quotes around scalars. That covers
+// every load profile this package reads while keeping the grammar
+// small enough to specify exactly:
+//
+//   - indentation is spaces only, a block's lines share one indent
+//   - `key: value` is a mapping entry; bare `key:` opens a nested
+//     block (deeper indent) or holds an empty scalar
+//   - `- value` is a sequence item; `- key: value` starts a mapping
+//     item whose further keys sit two columns past the dash
+//
+// Anchors, aliases, flow syntax, multi-line scalars and tabs are
+// rejected with line-numbered errors rather than half-supported.
+
+type yamlKind int
+
+const (
+	yamlScalar yamlKind = iota
+	yamlMap
+	yamlList
+)
+
+// yamlNode is one parsed value. Mapping keys keep document order so an
+// encode/parse round trip is stable.
+type yamlNode struct {
+	kind   yamlKind
+	scalar string
+	keys   []string
+	fields map[string]*yamlNode
+	items  []*yamlNode
+	line   int
+}
+
+type yamlLine struct {
+	indent int
+	text   string // content with indent stripped, comments removed
+	num    int    // 1-based source line
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseYAML parses one document into its root node (a mapping for
+// every profile, but any block value is accepted).
+func parseYAML(src []byte) (*yamlNode, error) {
+	p := &yamlParser{}
+	for i, raw := range strings.Split(string(src), "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("yaml line %d: tabs are not allowed, indent with spaces", i+1)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" || trimmed == "---" {
+			continue
+		}
+		indent := len(text) - len(strings.TrimLeft(text, " "))
+		p.lines = append(p.lines, yamlLine{indent: indent, text: trimmed, num: i + 1})
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	root, err := p.parseBlock(p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("yaml line %d: unexpected indent %d", l.num, l.indent)
+	}
+	return root, nil
+}
+
+// stripComment removes a trailing `# ...` comment, respecting quotes.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && (i == 0 || s[i-1] == ' ') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses the run of lines indented exactly at indent.
+func (p *yamlParser) parseBlock(indent int) (*yamlNode, error) {
+	first := p.lines[p.pos]
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.parseList(indent)
+	}
+	return p.parseMap(indent)
+}
+
+func (p *yamlParser) parseMap(indent int) (*yamlNode, error) {
+	n := &yamlNode{kind: yamlMap, fields: map[string]*yamlNode{}, line: p.lines[p.pos].num}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, fmt.Errorf("yaml line %d: unexpected indent %d (block is at %d)", l.num, l.indent, indent)
+			}
+			break
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, fmt.Errorf("yaml line %d: sequence item inside a mapping block", l.num)
+		}
+		key, rest, err := splitKey(l.text, l.num)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := n.fields[key]; dup {
+			return nil, fmt.Errorf("yaml line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		var val *yamlNode
+		if rest != "" {
+			val = &yamlNode{kind: yamlScalar, scalar: unquote(rest), line: l.num}
+		} else if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			val, err = p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			val = &yamlNode{kind: yamlScalar, scalar: "", line: l.num}
+		}
+		n.keys = append(n.keys, key)
+		n.fields[key] = val
+	}
+	return n, nil
+}
+
+func (p *yamlParser) parseList(indent int) (*yamlNode, error) {
+	n := &yamlNode{kind: yamlList, line: p.lines[p.pos].num}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, fmt.Errorf("yaml line %d: unexpected indent %d (sequence is at %d)", l.num, l.indent, indent)
+			}
+			break
+		}
+		if !strings.HasPrefix(l.text, "- ") && l.text != "-" {
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		switch {
+		case rest == "":
+			// `-` alone: the item is the nested block below.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("yaml line %d: empty sequence item", l.num)
+			}
+			item, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			n.items = append(n.items, item)
+		case isMapEntry(rest):
+			// `- key: value`: a mapping item whose remaining keys are
+			// indented two past the dash. Rewrite the current line as
+			// that first entry and parse the mapping at the deeper
+			// indent.
+			p.lines[p.pos] = yamlLine{indent: indent + 2, text: rest, num: l.num}
+			item, err := p.parseMap(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			n.items = append(n.items, item)
+		default:
+			p.pos++
+			n.items = append(n.items, &yamlNode{kind: yamlScalar, scalar: unquote(rest), line: l.num})
+		}
+	}
+	return n, nil
+}
+
+// splitKey splits "key: value" / "key:"; the key must look like an
+// identifier so arbitrary scalars containing colons fail loudly.
+func splitKey(s string, num int) (key, rest string, err error) {
+	i := strings.Index(s, ":")
+	if i < 0 {
+		return "", "", fmt.Errorf("yaml line %d: expected 'key: value', got %q", num, s)
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return "", "", fmt.Errorf("yaml line %d: missing space after ':' in %q", num, s)
+	}
+	key = strings.TrimSpace(s[:i])
+	if key == "" || strings.ContainsAny(key, " \"'") {
+		return "", "", fmt.Errorf("yaml line %d: bad mapping key %q", num, key)
+	}
+	return key, strings.TrimSpace(s[i+1:]), nil
+}
+
+// isMapEntry reports whether a sequence item's text begins a mapping
+// entry rather than a plain scalar.
+func isMapEntry(s string) bool {
+	if strings.HasPrefix(s, "'") || strings.HasPrefix(s, "\"") {
+		return false
+	}
+	i := strings.Index(s, ":")
+	if i <= 0 {
+		return false
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return false
+	}
+	return !strings.ContainsAny(s[:i], " \"'")
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
+
+// --- accessors -------------------------------------------------------
+
+func (n *yamlNode) get(key string) *yamlNode {
+	if n == nil || n.kind != yamlMap {
+		return nil
+	}
+	return n.fields[key]
+}
+
+// checkKeys errors on mapping keys outside the allowed set — load
+// profiles are config, and a typoed SLO key silently not enforcing is
+// worse than a parse failure.
+func (n *yamlNode) checkKeys(ctx string, allowed ...string) error {
+	if n == nil || n.kind != yamlMap {
+		return nil
+	}
+	ok := map[string]bool{}
+	for _, k := range allowed {
+		ok[k] = true
+	}
+	var bad []string
+	for _, k := range n.keys {
+		if !ok[k] {
+			bad = append(bad, k)
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("yaml line %d: unknown %s key(s) %s (allowed: %s)",
+			n.line, ctx, strings.Join(bad, ", "), strings.Join(allowed, ", "))
+	}
+	return nil
+}
+
+// --- encoder ---------------------------------------------------------
+
+// encodeYAML renders a node back to the same subset the parser reads,
+// completing the round trip the profile tests exercise.
+func encodeYAML(n *yamlNode) []byte {
+	var b strings.Builder
+	encodeNode(&b, n, 0)
+	return []byte(b.String())
+}
+
+func encodeNode(b *strings.Builder, n *yamlNode, indent int) {
+	pad := strings.Repeat(" ", indent)
+	switch n.kind {
+	case yamlMap:
+		for _, k := range n.keys {
+			v := n.fields[k]
+			if v.kind == yamlScalar {
+				fmt.Fprintf(b, "%s%s:%s\n", pad, k, scalarOut(v.scalar))
+			} else {
+				fmt.Fprintf(b, "%s%s:\n", pad, k)
+				encodeNode(b, v, indent+2)
+			}
+		}
+	case yamlList:
+		for _, item := range n.items {
+			switch item.kind {
+			case yamlScalar:
+				fmt.Fprintf(b, "%s-%s\n", pad, scalarOut(item.scalar))
+			case yamlMap:
+				// First key inline after the dash, the rest two deeper.
+				for i, k := range item.keys {
+					v := item.fields[k]
+					lead := pad + "  "
+					if i == 0 {
+						lead = pad + "- "
+					}
+					if v.kind == yamlScalar {
+						fmt.Fprintf(b, "%s%s:%s\n", lead, k, scalarOut(v.scalar))
+					} else {
+						fmt.Fprintf(b, "%s%s:\n", lead, k)
+						encodeNode(b, v, indent+4)
+					}
+				}
+			default:
+				fmt.Fprintf(b, "%s-\n", pad)
+				encodeNode(b, item, indent+2)
+			}
+		}
+	case yamlScalar:
+		fmt.Fprintf(b, "%s%s\n", pad, strings.TrimPrefix(scalarOut(n.scalar), " "))
+	}
+}
+
+func scalarOut(s string) string {
+	if s == "" {
+		return ""
+	}
+	if strings.ContainsAny(s, "#:'\"") || s != strings.TrimSpace(s) {
+		return " \"" + s + "\""
+	}
+	return " " + s
+}

@@ -1,0 +1,148 @@
+package loadgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *yamlNode {
+	t.Helper()
+	n, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return n
+}
+
+func TestYAMLScalarsAndNesting(t *testing.T) {
+	n := mustParse(t, `
+name: demo            # trailing comment
+seed: 42
+empty:
+quoted: "a: b # c"
+fabric:
+  stations: 7
+  m: 3
+`)
+	if got := n.get("name").scalar; got != "demo" {
+		t.Errorf("name = %q", got)
+	}
+	if got := n.get("quoted").scalar; got != "a: b # c" {
+		t.Errorf("quoted = %q", got)
+	}
+	if got := n.get("empty").scalar; got != "" {
+		t.Errorf("empty = %q", got)
+	}
+	f := n.get("fabric")
+	if f == nil || f.kind != yamlMap {
+		t.Fatalf("fabric: not a mapping")
+	}
+	if got := f.get("stations").scalar; got != "7" {
+		t.Errorf("fabric.stations = %q", got)
+	}
+	if !reflect.DeepEqual(n.keys, []string{"name", "seed", "empty", "quoted", "fabric"}) {
+		t.Errorf("key order = %v", n.keys)
+	}
+}
+
+func TestYAMLSequences(t *testing.T) {
+	n := mustParse(t, `
+plain:
+  - alpha
+  - beta
+maps:
+  - op: broadcast
+    rate: 1.5
+  - op: search
+    nested:
+      top-k: 10
+`)
+	plain := n.get("plain")
+	if plain.kind != yamlList || len(plain.items) != 2 || plain.items[1].scalar != "beta" {
+		t.Fatalf("plain = %+v", plain)
+	}
+	maps := n.get("maps")
+	if maps.kind != yamlList || len(maps.items) != 2 {
+		t.Fatalf("maps: %d items", len(maps.items))
+	}
+	if got := maps.items[0].get("rate").scalar; got != "1.5" {
+		t.Errorf("maps[0].rate = %q", got)
+	}
+	if got := maps.items[1].get("nested").get("top-k").scalar; got != "10" {
+		t.Errorf("maps[1].nested.top-k = %q", got)
+	}
+}
+
+func TestYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"tab", "a:\tb", "tabs"},
+		{"dup", "a: 1\na: 2", "duplicate key"},
+		{"nospace", "a:1", "missing space"},
+		{"badindent", "a: 1\n   b: 2", "unexpected indent"},
+		{"seqinmap", "a: 1\n- b", "sequence item inside a mapping"},
+		{"nokey", "just a scalar line", "expected 'key: value'"},
+		{"empty", "  \n# only comments\n", "empty document"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(c.src))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestYAMLRoundTrip pins encode(parse(x)) == encode(parse(encode(parse(x)))):
+// the encoder emits the subset the parser reads, with structure and
+// key order intact.
+func TestYAMLRoundTrip(t *testing.T) {
+	src := `
+name: round-trip
+seed: 7
+fabric:
+  stations: 3
+  m: 3
+phases:
+  - name: a
+    op: broadcast
+    rate: 0.5
+  - name: b
+    op: search
+    terms:
+      - lecture
+      - material
+slos:
+  - op: broadcast
+    p95: 2s
+`
+	first := mustParse(t, src)
+	encoded := encodeYAML(first)
+	second, err := parseYAML(encoded)
+	if err != nil {
+		t.Fatalf("reparse: %v\nencoded:\n%s", err, encoded)
+	}
+	if !reflect.DeepEqual(stripLines(first), stripLines(second)) {
+		t.Errorf("round trip changed the document\nfirst:\n%s\nsecond:\n%s",
+			encoded, encodeYAML(second))
+	}
+}
+
+// stripLines clears source-line fields so structural comparison
+// ignores where nodes came from.
+func stripLines(n *yamlNode) *yamlNode {
+	out := &yamlNode{kind: n.kind, scalar: n.scalar, keys: n.keys}
+	if n.fields != nil {
+		out.fields = make(map[string]*yamlNode, len(n.fields))
+		for k, v := range n.fields {
+			out.fields[k] = stripLines(v)
+		}
+	}
+	for _, item := range n.items {
+		out.items = append(out.items, stripLines(item))
+	}
+	return out
+}

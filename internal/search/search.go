@@ -223,6 +223,26 @@ func (ix *Index) Docs() int {
 	return len(ix.docs)
 }
 
+// IndexStats sizes the inverted index: how many documents it covers,
+// how many distinct terms the postings hold, and the total number of
+// (term, document) posting entries. Scraped by the station Stats RPC.
+type IndexStats struct {
+	Docs     int
+	Terms    int
+	Postings int
+}
+
+// Stats returns a point-in-time size snapshot of the index.
+func (ix *Index) Stats() IndexStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	st := IndexStats{Docs: len(ix.docs), Terms: len(ix.post)}
+	for _, m := range ix.post {
+		st.Postings += len(m)
+	}
+	return st
+}
+
 // Search answers a query from the postings: per-term lookups, scored
 // by matched terms first and term frequency second, ranked
 // deterministically (score descending, key ascending) and trimmed to

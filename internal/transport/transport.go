@@ -16,6 +16,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -145,11 +146,72 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+
+	// Wire accounting, scraped by the Stats RPC of the station layer:
+	// every byte read from or written to an accepted connection, and
+	// the number of requests dispatched per method. The byte counters
+	// are atomics (they tick on every frame); the per-method map has
+	// its own mutex so counting a call never contends with the
+	// handler-table RLock on the hot dispatch path.
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+	statMu   sync.Mutex
+	calls    map[string]int64
+}
+
+// ServerStats is a point-in-time accounting snapshot of a server's
+// wire activity.
+type ServerStats struct {
+	BytesIn  int64            // bytes read from accepted connections
+	BytesOut int64            // bytes written to accepted connections
+	Calls    map[string]int64 // requests dispatched, per method
 }
 
 // NewServer returns a server with no handlers.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+		calls:    make(map[string]int64),
+	}
+}
+
+// Stats returns the server's wire accounting so far. The Calls map is
+// a copy, safe to retain.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{BytesIn: s.bytesIn.Load(), BytesOut: s.bytesOut.Load()}
+	s.statMu.Lock()
+	st.Calls = make(map[string]int64, len(s.calls))
+	for m, n := range s.calls {
+		st.Calls[m] = n
+	}
+	s.statMu.Unlock()
+	return st
+}
+
+func (s *Server) noteCall(method string) {
+	s.statMu.Lock()
+	s.calls[method]++
+	s.statMu.Unlock()
+}
+
+// countingConn threads the server's byte counters under every read
+// and write of an accepted connection.
+type countingConn struct {
+	net.Conn
+	srv *Server
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.srv.bytesIn.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.srv.bytesOut.Add(int64(n))
+	return n, err
 }
 
 // Handle registers a method handler; it panics on duplicate names
@@ -206,12 +268,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	cc := &countingConn{Conn: conn, srv: s}
 	var writeMu sync.Mutex
 	for {
-		env, err := readFrame(conn)
+		env, err := readFrame(cc)
 		if err != nil {
 			return
 		}
+		s.noteCall(env.Method)
 		s.mu.RLock()
 		h, ok := s.handlers[env.Method]
 		s.mu.RUnlock()
@@ -227,7 +291,7 @@ func (s *Server) serveConn(conn net.Conn) {
 					// A handler returning a reader streams its bytes
 					// in StreamChunk frames; the caller receives them
 					// through CallStream.
-					streamResponse(conn, &writeMu, env, r)
+					streamResponse(cc, &writeMu, env, r)
 					return
 				} else if out != nil {
 					body, err := Marshal(out)
@@ -240,7 +304,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			writeMu.Lock()
 			defer writeMu.Unlock()
-			writeFrame(conn, resp) // a write failure also ends the reader
+			writeFrame(cc, resp) // a write failure also ends the reader
 		}(env)
 	}
 }

@@ -1,6 +1,7 @@
 package webtest
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -37,5 +38,31 @@ func Eventually(t testing.TB, timeout time.Duration, what string, cond func() bo
 	t.Helper()
 	if !Poll(timeout, cond) {
 		t.Fatalf("timed out after %v waiting for %s", timeout, what)
+	}
+}
+
+// PollErr is Poll for process orchestration outside tests (the load
+// harness waiting for a fabric roster to fill, a driver waiting for a
+// daemon socket): cond reports done, or a hard error that aborts the
+// wait immediately. A timeout yields an error naming what was waited
+// for.
+func PollErr(timeout time.Duration, what string, cond func() (bool, error)) error {
+	deadline := time.Now().Add(timeout)
+	interval := time.Millisecond
+	for {
+		done, err := cond()
+		if err != nil {
+			return fmt.Errorf("waiting for %s: %w", what, err)
+		}
+		if done {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out after %v waiting for %s", timeout, what)
+		}
+		time.Sleep(interval)
+		if interval < 50*time.Millisecond {
+			interval *= 2
+		}
 	}
 }
