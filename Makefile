@@ -3,7 +3,7 @@ GO ?= go
 # The targets below are exactly what .github/workflows/ci.yml runs, so a
 # green `make ci` locally means a green CI run.
 
-.PHONY: build vet fmt-check test race race-fabric fuzz-smoke bench bench-check load-smoke ci
+.PHONY: build vet fmt-check test race race-fabric fuzz-smoke bench bench-check obs-overhead load-smoke ci
 
 build:
 	$(GO) build ./...
@@ -24,8 +24,11 @@ test:
 # fallback, torn-tail replay, BLOB-sidecar generation coupling, and
 # the content index's sidecar/rebuild recovery (missing, stale and
 # corrupt search-<gen> files) plus its concurrent index/query stress.
+# internal/obs rides along: its span ring and histogram are written to
+# from every RPC goroutine, so the race detector is the proof they
+# are safe to leave always-on.
 race:
-	$(GO) test -race ./internal/relstore/... ./internal/docdb/... ./internal/search/...
+	$(GO) test -race ./internal/relstore/... ./internal/docdb/... ./internal/search/... ./internal/obs/...
 
 # The live distribution layer under the race detector: the in-process
 # multi-station fabric (including the 13-station failure/repair run,
@@ -54,6 +57,16 @@ bench:
 bench-check:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Tracing-overhead gate: the broadcast lecture cycle with observability
+# on must stay within 5% of the same cycle with every observer
+# disabled. CI runs the pair at OBS_BENCHTIME=1x as a compile-and-run
+# check (one socket-bound iteration is too noisy to judge 5%); raise
+# OBS_BENCHTIME (e.g. 50x) locally or in a nightly job to measure the
+# ratio for real.
+OBS_BENCHTIME ?= 1x
+obs-overhead:
+	$(GO) test -run '^$$' -bench '^BenchmarkFabricBroadcastObs' -benchtime $(OBS_BENCHTIME) .
+
 # A ~10-second compressed load run against a self-hosted 3-station
 # fabric: webdocload replays examples/loadprofiles/ci-smoke.yaml and
 # exits non-zero if any SLO fails. The report lands in
@@ -61,4 +74,4 @@ bench-check:
 load-smoke:
 	$(GO) run ./cmd/webdocload -profile examples/loadprofiles/ci-smoke.yaml
 
-ci: build vet fmt-check test race race-fabric fuzz-smoke bench-check load-smoke
+ci: build vet fmt-check test race race-fabric fuzz-smoke bench-check obs-overhead load-smoke

@@ -17,6 +17,8 @@
 //	webdocctl -addr 127.0.0.1:7070 health
 //	webdocctl -addr 127.0.0.1:7070 evict 3
 //	webdocctl -addr 127.0.0.1:7072 -k 5 search watermark frequency
+//	webdocctl -addr 127.0.0.1:7070 trace 4a1f93c2d07b6e55
+//	webdocctl -addr 127.0.0.1:7070 top
 //
 // Every verb takes the station through the global -addr flag and
 // supports -json, which prints the station's raw typed reply as
@@ -38,10 +40,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/fabric"
 	"repro/internal/mtree"
+	"repro/internal/obs"
 )
 
 // jsonOut switches every verb from human rendering to indented JSON.
@@ -62,7 +66,7 @@ func main() {
 	// The fabric verbs use the typed administrative client; everything
 	// else speaks the base station protocol.
 	switch args[0] {
-	case "topology", "broadcast", "resolve", "migrate", "health", "evict", "search":
+	case "topology", "broadcast", "resolve", "migrate", "health", "evict", "search", "trace":
 		runFabric(*addr, args, *refsOnly, *topK, *phrase)
 		return
 	}
@@ -115,6 +119,15 @@ func main() {
 			return
 		}
 		printSQL(reply)
+	case "top":
+		reply, err := rs.Stats()
+		if err != nil {
+			fail("stats: %v", err)
+		}
+		if emit(reply.Latency) {
+			return
+		}
+		printTop(reply)
 	case "checkpoint":
 		reply, err := rs.Checkpoint()
 		if err != nil {
@@ -180,8 +193,8 @@ func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool)
 				dead++
 			}
 		}
-		fmt.Printf("%d hit(s) from %d station(s), %d unreachable\n",
-			len(res.Hits), len(res.Stations)-dead, dead)
+		fmt.Printf("%d hit(s) from %d station(s), %d unreachable (trace %s)\n",
+			len(res.Hits), len(res.Stations)-dead, dead, obs.FormatTraceID(res.TraceID))
 		for _, h := range res.Hits {
 			switch h.Kind {
 			case "script":
@@ -238,7 +251,8 @@ func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool)
 		if res.RefOnly {
 			what = "references"
 		}
-		fmt.Printf("broadcast %s: %d bytes/copy as %s\n", res.URL, res.Bytes, what)
+		fmt.Printf("broadcast %s: %d bytes/copy as %s (trace %s)\n",
+			res.URL, res.Bytes, what, obs.FormatTraceID(res.TraceID))
 		for _, sr := range res.Stations {
 			if sr.Err != "" {
 				fmt.Printf("  station %-3d ERROR %s\n", sr.Pos, sr.Err)
@@ -267,6 +281,7 @@ func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool)
 			fmt.Printf("resolved %s via station %d: %d bytes, fetch %d below the watermark\n",
 				res.URL, res.ServedBy, res.Bytes, res.Fetches)
 		}
+		fmt.Printf("  trace %s\n", obs.FormatTraceID(res.TraceID))
 	case "migrate":
 		if len(args) != 2 {
 			usage()
@@ -278,7 +293,8 @@ func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool)
 		if emit(res) {
 			return
 		}
-		fmt.Printf("migrated %d station(s), reclaimed %d bytes\n", len(res.Stations), res.Freed)
+		fmt.Printf("migrated %d station(s), reclaimed %d bytes (trace %s)\n",
+			len(res.Stations), res.Freed, obs.FormatTraceID(res.TraceID))
 		for _, sr := range res.Stations {
 			if sr.Err != "" {
 				fmt.Printf("  station %-3d ERROR %s\n", sr.Pos, sr.Err)
@@ -286,6 +302,22 @@ func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool)
 			}
 			fmt.Printf("  station %-3d -> %s (%d bytes freed)\n", sr.Pos, sr.Form, sr.Freed)
 		}
+	case "trace":
+		if len(args) != 2 {
+			usage()
+		}
+		id, err := strconv.ParseUint(args[1], 16, 64)
+		if err != nil || id == 0 {
+			fail("trace: bad trace ID %q (want the hex ID an op reply printed)", args[1])
+		}
+		res, err := admin.Trace(id)
+		if err != nil {
+			fail("trace: %v", err)
+		}
+		if emit(res) {
+			return
+		}
+		printTrace(res)
 	case "health":
 		health, err := admin.Health()
 		if err != nil {
@@ -358,6 +390,79 @@ func printStats(s cluster.StatsReply) {
 		fmt.Printf("  index     %d docs, %d terms, %d postings\n", s.IndexDocs, s.IndexTerms, s.IndexPostings)
 	} else {
 		fmt.Printf("  index     none attached\n")
+	}
+	if len(s.Latency) > 0 {
+		fmt.Printf("  latency   %d method(s) instrumented; hottest:\n", len(s.Latency))
+		methods := obs.MethodsByTotal(s.Latency)
+		if len(methods) > 3 {
+			methods = methods[:3]
+		}
+		for _, m := range methods {
+			sum := s.Latency[m]
+			fmt.Printf("    %-24s n=%-6d p50=%.2fms p99=%.2fms max=%.2fms\n",
+				m, sum.Count, sum.P50Ms, sum.P99Ms, sum.MaxMs)
+		}
+	}
+}
+
+// printTrace renders a collected trace as its hop tree: spans indexed
+// by SpanID, children nested under their parent hop, orphans (parent
+// span lost to ring eviction or a dead station) promoted to roots.
+func printTrace(res fabric.TraceReply) {
+	fmt.Printf("trace %s: %d span(s)\n", obs.FormatTraceID(res.ID), len(res.Spans))
+	byID := make(map[uint64]obs.Span, len(res.Spans))
+	for _, sp := range res.Spans {
+		byID[sp.SpanID] = sp
+	}
+	children := make(map[uint64][]obs.Span, len(res.Spans))
+	var roots []obs.Span
+	for _, sp := range res.Spans {
+		if _, ok := byID[sp.Parent]; sp.Parent != 0 && ok {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	var render func(sp obs.Span, depth int)
+	render = func(sp obs.Span, depth int) {
+		indent := strings.Repeat("  ", depth+1)
+		line := fmt.Sprintf("%sstation %-3d %-20s %8s  %d bytes",
+			indent, sp.Station, sp.Method, sp.Duration.Round(10*time.Microsecond), sp.Bytes)
+		if sp.Err != "" {
+			line += "  ERROR " + sp.Err
+		}
+		fmt.Println(line)
+		for _, note := range sp.Notes {
+			fmt.Printf("%s  ! %s\n", indent, note)
+		}
+		for _, kid := range children[sp.SpanID] {
+			render(kid, depth+1)
+		}
+	}
+	for _, sp := range roots {
+		render(sp, 0)
+	}
+	for _, sr := range res.Stations {
+		if sr.Err != "" {
+			fmt.Printf("  station %-3d UNREACHABLE %s\n", sr.Pos, sr.Err)
+		}
+	}
+}
+
+// printTop renders the station's per-method latency histograms hottest
+// first — the quick "where is the time going" view.
+func printTop(s cluster.StatsReply) {
+	fmt.Printf("station %d: %d instrumented method(s)\n", s.Pos, len(s.Latency))
+	if len(s.Latency) == 0 {
+		fmt.Println("  no latency histograms recorded (observability disabled or no traffic yet)")
+		return
+	}
+	fmt.Printf("  %-24s %8s %6s %9s %9s %9s %9s %10s\n",
+		"method", "count", "errs", "p50", "p95", "p99", "max", "total")
+	for _, m := range obs.MethodsByTotal(s.Latency) {
+		sum := s.Latency[m]
+		fmt.Printf("  %-24s %8d %6d %8.2fms %8.2fms %8.2fms %8.2fms %9.1fms\n",
+			m, sum.Count, sum.Errors, sum.P50Ms, sum.P95Ms, sum.P99Ms, sum.MaxMs, sum.TotalMs)
 	}
 }
 
@@ -447,6 +552,8 @@ commands:
   health               show per-station liveness (root view is authoritative)
   evict POS            force-mark a station dead on the root (heartbeats revive it if it still answers)
   search TERM...       federation-wide full-text query ([-k N] hits, [-phrase] exact phrase)
+  trace HEXID          reconstruct an op's hop tree fabric-wide (ID printed by broadcast/resolve/migrate/search)
+  top                  per-method latency histograms on the station, hottest first
 flags apply to every command; -json prints the raw typed reply as indented JSON`)
 	os.Exit(2)
 }

@@ -44,12 +44,15 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -59,6 +62,7 @@ import (
 	"repro/internal/docdb"
 	"repro/internal/fabric"
 	"repro/internal/library"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/search"
 	"repro/internal/webui"
@@ -81,6 +85,8 @@ func main() {
 		degree     = flag.Int("m", 2, "distribution tree degree (root mode)")
 		watermark  = flag.Int("watermark", 1, "watermark frequency: fetches beyond this replicate locally (root mode; negative never replicates)")
 		heartbeat  = flag.Duration("heartbeat", fabric.DefaultHeartbeatInterval, "root mode: probe joined stations this often and declare the unresponsive ones dead (0 disables)")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof and expvar diagnostics on this address (bare :port binds loopback; empty disables)")
+		logEvents  = flag.Bool("log-events", false, "log structured one-line records for fault-path events (suspicion, grafts, rejoins, checkpoints)")
 	)
 	flag.Parse()
 	if *dataDir != "" && *walPath != "" {
@@ -155,6 +161,7 @@ func main() {
 		stationPos int
 		stop       func() error
 		station    *fabric.Station // non-nil in fabric mode
+		statsNode  *cluster.Node   // the serving node, for diagnostics
 	)
 	switch {
 	case *root:
@@ -171,7 +178,7 @@ func main() {
 				log.Fatalf("webdocd: starting heartbeat: %v", err)
 			}
 		}
-		bound, stationPos, stop, station = st.Addr(), st.Pos(), st.Close, st
+		bound, stationPos, stop, station, statsNode = st.Addr(), st.Pos(), st.Close, st, st.Node()
 		fmt.Printf("webdocd: station %d serving on %s (fabric root, m=%d, watermark=%d)\n",
 			stationPos, bound, *degree, *watermark)
 	case *joinAddr != "":
@@ -199,7 +206,7 @@ func main() {
 					res.References, len(res.Resolved), res.Migrated)
 			}
 		}
-		bound, stationPos, stop, station = st.Addr(), st.Pos(), st.Close, st
+		bound, stationPos, stop, station, statsNode = st.Addr(), st.Pos(), st.Close, st, st.Node()
 		fmt.Printf("webdocd: station %d serving on %s (joined fabric via %s)\n",
 			stationPos, bound, *joinAddr)
 	default:
@@ -210,12 +217,24 @@ func main() {
 		if err != nil {
 			log.Fatalf("webdocd: listen: %v", err)
 		}
-		bound, stop = b, node.Close
+		bound, stop, statsNode = b, node.Close, node
 		fmt.Printf("webdocd: station %d serving on %s\n", stationPos, bound)
+	}
+
+	var evSink obs.EventSink
+	if *logEvents {
+		evSink = func(line string) { log.Printf("webdocd: %s", line) }
+		if station != nil {
+			station.SetEventSink(evSink)
+		}
+	}
+	if *debugAddr != "" {
+		startDebugServer(*debugAddr, statsNode)
 	}
 
 	if *httpAddr != "" {
 		ui := webui.New(lib, store)
+		ui.Observer = statsNode.Observer()
 		if station != nil {
 			// Fabric stations offer the federated full-text mode: the
 			// query rides to the root and scatter-gathers the tree.
@@ -245,7 +264,7 @@ func main() {
 		ckptWG.Add(1)
 		go func() {
 			defer ckptWG.Done()
-			runCheckpointer(store, rel, *ckptEvery, *ckptBytes, stopCkpt)
+			runCheckpointer(store, rel, *ckptEvery, *ckptBytes, stopCkpt, evSink)
 		}()
 	}
 
@@ -278,8 +297,9 @@ func main() {
 
 // runCheckpointer polls the WAL tail once a second and checkpoints
 // when either trigger fires: the tail crossing the byte budget, or the
-// interval elapsing since the last checkpoint.
-func runCheckpointer(store *docdb.Store, rel *relstore.DB, every time.Duration, maxBytes int64, stop <-chan struct{}) {
+// interval elapsing since the last checkpoint. events, when set,
+// receives a structured record per installed checkpoint (-log-events).
+func runCheckpointer(store *docdb.Store, rel *relstore.DB, every time.Duration, maxBytes int64, stop <-chan struct{}, events obs.EventSink) {
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
 	last := time.Now()
@@ -300,8 +320,38 @@ func runCheckpointer(store *docdb.Store, rel *relstore.DB, every time.Duration, 
 				continue
 			}
 			log.Printf("webdocd: checkpoint generation %d (%d bytes, wal seq %d)", info.Gen, info.Bytes, info.Seq)
+			if events != nil {
+				events(obs.Event("checkpoint-install", "gen", info.Gen, "bytes", info.Bytes, "wal-seq", info.Seq))
+			}
 		}
 	}
+}
+
+// startDebugServer exposes the station's diagnostics over HTTP:
+// net/http/pprof's profiles, expvar (the process defaults plus the
+// unified station Stats snapshot under "station"), on an explicit mux
+// so nothing else in the process leaks handlers onto it. A bare
+// ":port" binds loopback — the profiler is an operator tool, not a
+// public surface; exposing it wider takes an explicit interface
+// address.
+func startDebugServer(addr string, node *cluster.Node) {
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	expvar.Publish("station", expvar.Func(func() any { return node.StatsNow() }))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	go func() {
+		log.Printf("webdocd: debug diagnostics on http://%s/debug/pprof/ and /debug/vars", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("webdocd: debug listener: %v", err)
+		}
+	}()
 }
 
 // prepareLegacyMigration upgrades a pre-checkpoint station: the

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"repro/internal/obs"
 	"repro/internal/search"
 )
 
@@ -20,6 +21,11 @@ type StatsReply struct {
 	Ops      map[string]int64 // requests served, per RPC method
 	BytesIn  int64            // bytes received on the station socket
 	BytesOut int64            // bytes sent on the station socket
+
+	// Per-method latency digests from the station's histograms
+	// (p50/p95/p99/max/mean, error counts). Empty when observability
+	// is disabled on the node.
+	Latency map[string]obs.Summary
 
 	// Relational engine and durability.
 	Tables        int
@@ -66,6 +72,9 @@ func (n *Node) StatsNow() StatsReply {
 		WALSeq:        rel.LastSeq(),
 		WALTailBytes:  rel.WALTailBytes(),
 		Durable:       n.Store.DurableDir() != "",
+	}
+	if o := n.Observer(); o != nil {
+		reply.Latency = o.Metrics.Summaries()
 	}
 	if count, err := rel.Count("doc_objects"); err == nil {
 		reply.Objects = int64(count)

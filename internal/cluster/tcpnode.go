@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/docdb"
 	"repro/internal/minisql"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/transport"
 )
@@ -100,11 +101,16 @@ type SQLReply struct {
 	Msg      string
 }
 
-// NewNode wraps a station store in an RPC service.
+// NewNode wraps a station store in an RPC service. Every node carries
+// an observer from birth: per-method latency histograms plus the span
+// ring that the fabric's Trace RPC collects from.
 func NewNode(pos int, store *docdb.Store) *Node {
 	n := &Node{Store: store, sql: minisql.NewSession(store.Rel())}
 	n.pos.Store(int64(pos))
 	n.srv = transport.NewServer()
+	o := obs.NewObserver(0)
+	o.SetPos(pos)
+	n.srv.SetObserver(o)
 	n.srv.Handle("Ping", n.handlePing)
 	n.srv.Handle("Bundle", n.handleBundle)
 	n.srv.Handle("Import", n.handleImport)
@@ -123,14 +129,34 @@ func (n *Node) Pos() int { return int(n.pos.Load()) }
 // SetPos records the linear position once it is known. A station that
 // joins a live distribution fabric learns its position from the root
 // after its RPC service is already up, so the field must be safe to
-// set while handlers run.
-func (n *Node) SetPos(pos int) { n.pos.Store(int64(pos)) }
+// set while handlers run. The observer follows, so spans recorded
+// after a join/rejoin carry the settled position.
+func (n *Node) SetPos(pos int) {
+	n.pos.Store(int64(pos))
+	n.srv.Observer().SetPos(pos)
+}
+
+// Observer returns the node's observability state (nil when disabled
+// via SetObserver(nil) — every obs method tolerates that).
+func (n *Node) Observer() *obs.Observer { return n.srv.Observer() }
+
+// SetObserver replaces (or with nil disables) the node's observer —
+// the switch the tracing-overhead benchmark flips.
+func (n *Node) SetObserver(o *obs.Observer) {
+	o.SetPos(n.Pos())
+	n.srv.SetObserver(o)
+}
 
 // Handle registers an additional RPC method on the node's server —
 // the extension point the distribution fabric uses to add its
 // join/broadcast/resolve protocol beside the base station methods.
 // Like transport.Server.Handle it must be called before Start.
 func (n *Node) Handle(method string, h transport.Handler) { n.srv.Handle(method, h) }
+
+// HandleCtx registers a trace-aware RPC method (see
+// transport.CtxHandler) — used by fabric methods that propagate trace
+// context further down the tree.
+func (n *Node) HandleCtx(method string, h transport.CtxHandler) { n.srv.HandleCtx(method, h) }
 
 // SetLivenessCheck installs a health predicate consulted by liveness
 // probes — the fabric's heartbeat handler reports the check's error to

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Simulated fabric-wide trace collection: the discrete-event model of
+// fabric.Station.Trace's scatter-gather, so the live implementation's
+// collection cost can be pinned against controlled simulated time the
+// same way search, broadcast and resolve are. The shape is search's —
+// ride to the root, scatter one small request per tree edge, gather
+// replies up the live-grafted tree — with one structural difference in
+// the cost model: span sets concatenate instead of merging to a
+// bounded top-k, so an edge near the root carries its whole subtree's
+// spans. Collection traffic therefore grows with the traced
+// operation's footprint, not with a fixed k — the price of a complete
+// reconstruction, and the reason rings bound what a station can hold.
+
+// Cost model of one collection hop: a request names a TraceID (small,
+// fixed); a reply costs a fixed overhead plus a per-span share (a
+// span's method name, timing, byte counts and annotations).
+const (
+	traceRequestBytes = 128
+	traceSpanBytes    = 192
+)
+
+// traceReplyBytes sizes a reply message carrying n spans.
+func traceReplyBytes(n int) int64 {
+	return traceRequestBytes + int64(n)*traceSpanBytes
+}
+
+// TraceCollectReport summarizes one simulated collection.
+type TraceCollectReport struct {
+	// Spans is the total number of spans gathered (down stations'
+	// contributions are lost until they rejoin).
+	Spans int
+	// Covered counts the stations that answered the scatter.
+	Covered int
+	// Latency is the simulated time from issuing the collection at the
+	// requesting station to the concatenated reply arriving back.
+	Latency time.Duration
+	// WireBytes is the total traffic the collection moved.
+	WireBytes int64
+}
+
+// CollectTrace models collecting one trace's spans fabric-wide from a
+// requesting station. spanCount reports how many spans each station's
+// ring holds for the trace (the simulator has no real rings; the
+// caller supplies the footprint of the operation being reconstructed).
+// The requesting station must be live; the root cannot fail.
+func (c *Cluster) CollectTrace(pos int, spanCount func(p int) int) (*TraceCollectReport, error) {
+	st, err := c.Station(pos)
+	if err != nil {
+		return nil, err
+	}
+	if c.down[pos] {
+		return nil, fmt.Errorf("%w: station %d is down", ErrNoStation, pos)
+	}
+	start := c.sim.Now()
+	bytesBefore := c.sim.Stats().TotalBytes
+	rep := &TraceCollectReport{}
+	var failure error
+
+	// gather collects one station's spans and its (live-grafted)
+	// subtree's, delivering the concatenated count and completion time.
+	var gather func(p int, done func(spans int, at time.Duration))
+	gather = func(p int, done func(int, time.Duration)) {
+		local := spanCount(p)
+		rep.Covered++
+		kids, err := c.liveChildren(p)
+		if err != nil {
+			failure = err
+			done(0, c.sim.Now())
+			return
+		}
+		if len(kids) == 0 {
+			done(local, c.sim.Now())
+			return
+		}
+		total := local
+		pending := len(kids)
+		var latest time.Duration
+		for _, kid := range kids {
+			kid := kid
+			err := c.sim.Transfer(c.ids[p-1], c.ids[kid-1], traceRequestBytes, func(time.Duration) {
+				gather(kid, func(kidSpans int, _ time.Duration) {
+					err := c.sim.Transfer(c.ids[kid-1], c.ids[p-1], traceReplyBytes(kidSpans), func(at time.Duration) {
+						total += kidSpans
+						if at > latest {
+							latest = at
+						}
+						pending--
+						if pending == 0 {
+							done(total, latest)
+						}
+					})
+					if err != nil {
+						failure = err
+					}
+				})
+			})
+			if err != nil {
+				failure = err
+				return
+			}
+		}
+	}
+
+	finish := func(spans int, at time.Duration) {
+		rep.Spans = spans
+		rep.Latency = at - start
+	}
+	if pos == 1 {
+		gather(1, finish)
+	} else {
+		// The collection rides to the root first, like every federation
+		// query.
+		err := c.sim.Transfer(c.ids[st.Pos-1], c.ids[0], traceRequestBytes, func(time.Duration) {
+			gather(1, func(spans int, _ time.Duration) {
+				err := c.sim.Transfer(c.ids[0], c.ids[st.Pos-1], traceReplyBytes(spans), func(at time.Duration) {
+					finish(spans, at)
+				})
+				if err != nil {
+					failure = err
+				}
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.sim.Run()
+	if failure != nil {
+		return nil, failure
+	}
+	rep.WireBytes = c.sim.Stats().TotalBytes - bytesBefore
+	return rep, nil
+}

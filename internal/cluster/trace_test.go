@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestCollectTraceGathersWholeTree(t *testing.T) {
+	c := newSearchCluster(t, 13, 3)
+	// One span per station — the footprint of a full broadcast.
+	rep, err := c.CollectTrace(7, func(int) int { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spans != 13 || rep.Covered != 13 {
+		t.Fatalf("spans=%d covered=%d, want 13/13", rep.Spans, rep.Covered)
+	}
+	if rep.Latency <= 0 || rep.WireBytes <= 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+// TestCollectTraceCostGrowsWithFootprint: unlike search's bounded
+// top-k merge, span sets concatenate on the way up, so the wire cost
+// must scale with the traced operation's footprint.
+func TestCollectTraceCostGrowsWithFootprint(t *testing.T) {
+	bytesFor := func(perStation int) int64 {
+		c := newSearchCluster(t, 13, 3)
+		rep, err := c.CollectTrace(1, func(int) int { return perStation })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.WireBytes
+	}
+	small, large := bytesFor(1), bytesFor(10)
+	if large <= small {
+		t.Fatalf("10-span collection moved %d bytes, 1-span moved %d; want growth", large, small)
+	}
+}
+
+func TestCollectTraceGraftsAroundDownStation(t *testing.T) {
+	c := newSearchCluster(t, 13, 3)
+	if err := c.MarkDown(2); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.CollectTrace(5, func(int) int { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Station 2's spans are lost, but its subtree (5, 6, 7) stays
+	// covered through the graft.
+	if rep.Spans != 12 || rep.Covered != 12 {
+		t.Fatalf("spans=%d covered=%d, want 12/12 (dead station skipped, subtree covered)", rep.Spans, rep.Covered)
+	}
+
+	// A down station cannot issue the collection.
+	if _, err := c.CollectTrace(2, func(int) int { return 1 }); err == nil {
+		t.Fatal("down station issued a trace collection")
+	}
+}

@@ -3,6 +3,7 @@ package fabric
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -23,13 +24,14 @@ type EndLectureRequest struct {
 }
 
 // handleBroadcast lets an administrative client trigger Broadcast on
-// the root station.
-func (s *Station) handleBroadcast(decode func(any) error) (any, error) {
+// the root station. The client's trace context (ctx.Span) becomes the
+// root span of the whole tree traversal.
+func (s *Station) handleBroadcast(ctx *transport.Ctx, decode func(any) error) (any, error) {
 	var req BroadcastRequest
 	if err := decode(&req); err != nil {
 		return nil, err
 	}
-	res, err := s.Broadcast(req.URL, req.RefOnly)
+	res, err := s.broadcastSpanned(req.URL, req.RefOnly, ctx.Span())
 	if err != nil {
 		return nil, err
 	}
@@ -38,22 +40,22 @@ func (s *Station) handleBroadcast(decode func(any) error) (any, error) {
 
 // handleFetch lets an administrative client make a station resolve a
 // document for itself, applying its watermark policy.
-func (s *Station) handleFetch(decode func(any) error) (any, error) {
+func (s *Station) handleFetch(ctx *transport.Ctx, decode func(any) error) (any, error) {
 	var req FetchRequest
 	if err := decode(&req); err != nil {
 		return nil, err
 	}
-	return s.Resolve(req.URL)
+	return s.resolveSpanned(req.URL, ctx.Span())
 }
 
 // handleEndLecture lets an administrative client trigger the
 // end-of-lecture migration on the root station.
-func (s *Station) handleEndLecture(decode func(any) error) (any, error) {
+func (s *Station) handleEndLecture(ctx *transport.Ctx, decode func(any) error) (any, error) {
 	var req EndLectureRequest
 	if err := decode(&req); err != nil {
 		return nil, err
 	}
-	res, err := s.EndLecture(req.URL)
+	res, err := s.endLectureSpanned(req.URL, ctx.Span())
 	if err != nil {
 		return nil, err
 	}
@@ -83,10 +85,17 @@ func (a *Admin) Topology() (TopologyReply, error) {
 	return reply, err
 }
 
+// adminTrace mints a fresh trace context for one administrative
+// operation, so every tree traversal an Admin triggers is traceable by
+// a single ID even though the client itself keeps no span ring.
+func adminTrace() obs.TraceContext {
+	return obs.TraceContext{TraceID: obs.NewTraceID()}
+}
+
 // Broadcast runs a tree-wide broadcast from the root station.
 func (a *Admin) Broadcast(url string, refOnly bool) (BroadcastResult, error) {
 	var reply BroadcastResult
-	err := a.pool.Call(methodBroadcast, BroadcastRequest{URL: url, RefOnly: refOnly}, &reply)
+	err := a.pool.CallTrace(methodBroadcast, BroadcastRequest{URL: url, RefOnly: refOnly}, &reply, adminTrace(), 0)
 	return reply, err
 }
 
@@ -94,14 +103,14 @@ func (a *Admin) Broadcast(url string, refOnly bool) (BroadcastResult, error) {
 // parent route.
 func (a *Admin) Fetch(url string) (FetchResult, error) {
 	var reply FetchResult
-	err := a.pool.Call(methodFetch, FetchRequest{URL: url}, &reply)
+	err := a.pool.CallTrace(methodFetch, FetchRequest{URL: url}, &reply, adminTrace(), 0)
 	return reply, err
 }
 
 // EndLecture runs the post-lecture migration from the root station.
 func (a *Admin) EndLecture(url string) (MigrateReply, error) {
 	var reply MigrateReply
-	err := a.pool.Call(methodEndLecture, EndLectureRequest{URL: url}, &reply)
+	err := a.pool.CallTrace(methodEndLecture, EndLectureRequest{URL: url}, &reply, adminTrace(), 0)
 	return reply, err
 }
 
@@ -110,7 +119,16 @@ func (a *Admin) EndLecture(url string) (MigrateReply, error) {
 // down the distribution tree and merges the top-k hits per hop.
 func (a *Admin) Search(terms []string, phrase bool, topK int) (SearchReply, error) {
 	var reply SearchReply
-	err := a.pool.Call(methodSearch, SearchRequest{Terms: terms, Phrase: phrase, TopK: topK}, &reply)
+	err := a.pool.CallTrace(methodSearch, SearchRequest{Terms: terms, Phrase: phrase, TopK: topK}, &reply, adminTrace(), 0)
+	return reply, err
+}
+
+// Trace collects every span recorded fabric-wide for one trace ID: the
+// dialed station forwards to the root, which scatters the collection
+// down the distribution tree and concatenates each hop's contribution.
+func (a *Admin) Trace(id uint64) (TraceReply, error) {
+	var reply TraceReply
+	err := a.pool.Call(methodTrace, TraceRequest{ID: id}, &reply)
 	return reply, err
 }
 

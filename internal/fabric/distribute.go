@@ -5,7 +5,9 @@ import (
 	"strings"
 
 	"repro/internal/docdb"
+	"repro/internal/obs"
 	"repro/internal/schema"
+	"repro/internal/transport"
 )
 
 // PushRequest carries one broadcast hop: the bundle, the install
@@ -38,11 +40,15 @@ type PushReply struct {
 	Results []StationResult
 }
 
-// BroadcastResult summarizes one tree-wide broadcast.
+// BroadcastResult summarizes one tree-wide broadcast. TraceID names
+// the distributed trace the traversal recorded (retrieve the hop tree
+// with the Trace RPC / `webdocctl trace`); zero when the root runs
+// with observability disabled.
 type BroadcastResult struct {
 	URL      string
 	RefOnly  bool
 	Bytes    int64 // transfer size of one bundle copy
+	TraceID  uint64
 	Stations []StationResult
 }
 
@@ -69,14 +75,18 @@ type MigrateRequest struct {
 	Down      map[int]bool
 }
 
-// MigrateReply aggregates a subtree's migration outcome.
+// MigrateReply aggregates a subtree's migration outcome. TraceID (set
+// on the top-level reply only) names the traversal's distributed
+// trace.
 type MigrateReply struct {
 	Freed    int64
+	TraceID  uint64
 	Stations []StationResult
 }
 
 // FetchResult reports one on-demand retrieval, mirroring the
-// simulator's cluster.FetchResult.
+// simulator's cluster.FetchResult. TraceID names the resolve's
+// distributed trace.
 type FetchResult struct {
 	URL        string
 	ServedBy   int  // position of the station that supplied the data
@@ -84,6 +94,7 @@ type FetchResult struct {
 	Replicated bool // this fetch crossed the watermark and materialized a copy
 	Fetches    int  // remote retrievals so far, including this one
 	Bytes      int64
+	TraceID    uint64
 }
 
 // Broadcast pushes a document from the root down the m-ary tree,
@@ -95,6 +106,15 @@ type FetchResult struct {
 // the nearest live ancestor — and unreachable stations are reported
 // per station in the result, not as a call failure.
 func (s *Station) Broadcast(url string, refOnly bool) (*BroadcastResult, error) {
+	// An in-process broadcast roots its own trace; the RPC path
+	// (handleBroadcast) reuses the span the transport already opened.
+	span := s.observer().BeginLocal(methodBroadcast)
+	res, err := s.broadcastSpanned(url, refOnly, span)
+	span.End(err)
+	return res, err
+}
+
+func (s *Station) broadcastSpanned(url string, refOnly bool, span *obs.ActiveSpan) (*BroadcastResult, error) {
 	if !s.isRoot {
 		return nil, fmt.Errorf("%w: broadcast", ErrNotRoot)
 	}
@@ -126,15 +146,20 @@ func (s *Station) Broadcast(url string, refOnly bool) (*BroadcastResult, error) 
 	// while this broadcast is still in flight must see the document in
 	// its catch-up catalog — the root holds the bundle either way.
 	s.recordBroadcast(url, refOnly)
-	results := s.fanOut(v.pos, req)
+	results := s.fanOut(v.pos, req, span)
 	sortResults(results)
-	return &BroadcastResult{URL: url, RefOnly: refOnly, Bytes: bundle.TotalBytes(), Stations: results}, nil
+	return &BroadcastResult{
+		URL: url, RefOnly: refOnly, Bytes: bundle.TotalBytes(),
+		TraceID: span.Context().TraceID, Stations: results,
+	}, nil
 }
 
 // handlePush installs the pushed document locally (store), then
 // relays it to this station's children (forward) and aggregates the
-// subtree results.
-func (s *Station) handlePush(decode func(any) error) (any, error) {
+// subtree results. The hop's span (opened by the transport when the
+// push is traced) rides down to the children, so the whole traversal
+// shares one TraceID.
+func (s *Station) handlePush(ctx *transport.Ctx, decode func(any) error) (any, error) {
 	var req PushRequest
 	if err := decode(&req); err != nil {
 		return nil, err
@@ -164,7 +189,7 @@ func (s *Station) handlePush(decode func(any) error) (any, error) {
 		}
 	}
 	s.importMu.Unlock()
-	sub := s.fanOut(pos, req)
+	sub := s.fanOut(pos, req, ctx.Span())
 	return PushReply{Results: append([]StationResult{res}, sub...)}, nil
 }
 
@@ -174,6 +199,13 @@ func (s *Station) handlePush(decode func(any) error) (any, error) {
 // dead ancestors on the way. Crossing the watermark frequency imports
 // the bundle, materializing local BLOBs.
 func (s *Station) Resolve(url string) (FetchResult, error) {
+	span := s.observer().BeginLocal(methodFetch)
+	res, err := s.resolveSpanned(url, span)
+	span.End(err)
+	return res, err
+}
+
+func (s *Station) resolveSpanned(url string, span *obs.ActiveSpan) (FetchResult, error) {
 	s.mu.Lock()
 	pos, n := s.pos, s.n
 	wm := s.watermark
@@ -181,13 +213,14 @@ func (s *Station) Resolve(url string) (FetchResult, error) {
 	if pos == 0 {
 		return FetchResult{}, ErrNotJoined
 	}
+	trace := span.Context().TraceID
 	if obj, err := s.store.ObjectByURL(url); err == nil && obj.Form != schema.FormReference {
-		return FetchResult{URL: url, Local: true, ServedBy: pos}, nil
+		return FetchResult{URL: url, Local: true, ServedBy: pos, TraceID: trace}, nil
 	}
 	if pos == 1 {
 		return FetchResult{}, fmt.Errorf("%w: %s", ErrNoInstance, url)
 	}
-	reply, err := s.resolveViaAncestors(url, n+1)
+	reply, err := s.resolveViaAncestors(url, n+1, span)
 	if err != nil {
 		return FetchResult{}, err
 	}
@@ -200,8 +233,10 @@ func (s *Station) Resolve(url string) (FetchResult, error) {
 		ServedBy: reply.ServedBy,
 		Fetches:  fetches,
 		Bytes:    reply.Bundle.TotalBytes(),
+		TraceID:  trace,
 	}
 	if wm >= 0 && fetches > wm {
+		span.Annotate("watermark pull: materializing after %d fetches", fetches)
 		s.importMu.Lock()
 		_, err := s.store.ImportBundle(&reply.Bundle, pos, false)
 		s.importMu.Unlock()
@@ -214,8 +249,10 @@ func (s *Station) Resolve(url string) (FetchResult, error) {
 }
 
 // handleResolve serves a bundle from a local instance or relays the
-// request further up the parent route, skipping dead ancestors.
-func (s *Station) handleResolve(decode func(any) error) (any, error) {
+// request further up the parent route, skipping dead ancestors. The
+// hop's span context relays with the request, so a traced resolve
+// records every ancestor it crossed.
+func (s *Station) handleResolve(ctx *transport.Ctx, decode func(any) error) (any, error) {
 	var req ResolveRequest
 	if err := decode(&req); err != nil {
 		return nil, err
@@ -234,12 +271,13 @@ func (s *Station) handleResolve(decode func(any) error) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctx.Annotate("served from local instance")
 		return ResolveReply{Bundle: *bundle, ServedBy: pos}, nil
 	}
 	if pos == 1 {
 		return nil, fmt.Errorf("%w: %s", ErrNoInstance, req.URL)
 	}
-	reply, err := s.resolveViaAncestors(req.URL, req.TTL-1)
+	reply, err := s.resolveViaAncestors(req.URL, req.TTL-1, ctx.Span())
 	if err != nil {
 		return nil, err
 	}
@@ -253,6 +291,13 @@ func (s *Station) handleResolve(decode func(any) error) (any, error) {
 // are reconciled at rejoin, when catch-up rebuilds the document as a
 // reference.
 func (s *Station) EndLecture(url string) (*MigrateReply, error) {
+	span := s.observer().BeginLocal(methodEndLecture)
+	res, err := s.endLectureSpanned(url, span)
+	span.End(err)
+	return res, err
+}
+
+func (s *Station) endLectureSpanned(url string, span *obs.ActiveSpan) (*MigrateReply, error) {
 	if !s.isRoot {
 		return nil, fmt.Errorf("%w: end-lecture migration", ErrNotRoot)
 	}
@@ -265,7 +310,8 @@ func (s *Station) EndLecture(url string) (*MigrateReply, error) {
 	// racing this migration should rebuild a reference, which is where
 	// the whole tree is headed anyway.
 	s.markMigrated(url)
-	reply := s.migrateSubtree(v.pos, req, s.migrateLocal(url, v.pos))
+	reply := s.migrateSubtree(v.pos, req, s.migrateLocal(url, v.pos), span)
+	reply.TraceID = span.Context().TraceID
 	sortResults(reply.Stations)
 	return &reply, nil
 }
@@ -294,8 +340,8 @@ func (s *Station) migrateLocal(url string, pos int) *StationResult {
 // migrateSubtree fans the migration out to the children of pos
 // (routing around dead hops) and folds the local result (if any) into
 // the aggregate.
-func (s *Station) migrateSubtree(pos int, req MigrateRequest, local *StationResult) MigrateReply {
-	out := s.migrateFanOut(pos, req)
+func (s *Station) migrateSubtree(pos int, req MigrateRequest, local *StationResult, span *obs.ActiveSpan) MigrateReply {
+	out := s.migrateFanOut(pos, req, span)
 	if local != nil {
 		out.Stations = append(out.Stations, *local)
 		out.Freed += local.Freed
@@ -304,7 +350,7 @@ func (s *Station) migrateSubtree(pos int, req MigrateRequest, local *StationResu
 }
 
 // handleMigrate migrates the local copy and relays down the subtree.
-func (s *Station) handleMigrate(decode func(any) error) (any, error) {
+func (s *Station) handleMigrate(ctx *transport.Ctx, decode func(any) error) (any, error) {
 	var req MigrateRequest
 	if err := decode(&req); err != nil {
 		return nil, err
@@ -316,7 +362,7 @@ func (s *Station) handleMigrate(decode func(any) error) (any, error) {
 	if pos == 0 {
 		return nil, ErrNotJoined
 	}
-	return s.migrateSubtree(pos, req, s.migrateLocal(req.URL, pos)), nil
+	return s.migrateSubtree(pos, req, s.migrateLocal(req.URL, pos), ctx.Span()), nil
 }
 
 // IsNoInstance reports whether an error (possibly a transport-carried

@@ -73,10 +73,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/docdb"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -129,6 +131,7 @@ const (
 	methodRefs       = "Fabric.Refs"
 	methodState      = "Fabric.State"
 	methodSearch     = "Fabric.Search"
+	methodTrace      = "Fabric.Trace"
 )
 
 // JoinRequest announces a new station's listen address to the root.
@@ -198,7 +201,30 @@ type Station struct {
 	// otherwise both pass ImportBundle's residency check and collide on
 	// the file rows.
 	importMu sync.Mutex
+
+	// evSink, when set, receives structured one-line records for the
+	// otherwise-silent fault paths (suspicion, confirmation, grafts,
+	// rejoin grants). Quiet by default.
+	evSink atomic.Value // obs.EventSink
 }
+
+// SetEventSink installs a consumer for the station's fault-path event
+// lines (webdocd's -log-events wires it to the process log). Safe to
+// call while serving; nil-tolerant call sites stay silent without one.
+func (s *Station) SetEventSink(sink obs.EventSink) {
+	s.evSink.Store(sink)
+}
+
+// event emits one structured fault-path record to the sink, if any.
+func (s *Station) event(name string, kv ...any) {
+	if sink, _ := s.evSink.Load().(obs.EventSink); sink != nil {
+		sink(obs.Event(name, kv...))
+	}
+}
+
+// observer returns the station's observability state (nil-safe to use
+// when the node runs with observability disabled).
+func (s *Station) observer() *obs.Observer { return s.node.Observer() }
 
 func newStation(store *docdb.Store, isRoot bool, m, watermark int) *Station {
 	s := &Station{
@@ -217,12 +243,15 @@ func newStation(store *docdb.Store, isRoot bool, m, watermark int) *Station {
 	s.node = cluster.NewNode(0, store)
 	s.node.Handle(methodJoin, s.handleJoin)
 	s.node.Handle(methodTopology, s.handleTopology)
-	s.node.Handle(methodPush, s.handlePush)
-	s.node.Handle(methodResolve, s.handleResolve)
-	s.node.Handle(methodMigrate, s.handleMigrate)
-	s.node.Handle(methodBroadcast, s.handleBroadcast)
-	s.node.Handle(methodFetch, s.handleFetch)
-	s.node.Handle(methodEndLecture, s.handleEndLecture)
+	// Tree operations register trace-aware: the transport opens a span
+	// per traced request and the handler threads its context down the
+	// tree, so one TraceID stitches a whole traversal.
+	s.node.HandleCtx(methodPush, s.handlePush)
+	s.node.HandleCtx(methodResolve, s.handleResolve)
+	s.node.HandleCtx(methodMigrate, s.handleMigrate)
+	s.node.HandleCtx(methodBroadcast, s.handleBroadcast)
+	s.node.HandleCtx(methodFetch, s.handleFetch)
+	s.node.HandleCtx(methodEndLecture, s.handleEndLecture)
 	s.node.Handle(methodHeartbeat, s.handleHeartbeat)
 	s.node.Handle(methodHealth, s.handleHealth)
 	s.node.Handle(methodEvict, s.handleEvict)
@@ -230,7 +259,8 @@ func newStation(store *docdb.Store, isRoot bool, m, watermark int) *Station {
 	s.node.Handle(methodCatalog, s.handleCatalog)
 	s.node.Handle(methodRefs, s.handleRefs)
 	s.node.Handle(methodState, s.handleState)
-	s.node.Handle(methodSearch, s.handleSearch)
+	s.node.HandleCtx(methodSearch, s.handleSearch)
+	s.node.Handle(methodTrace, s.handleTrace)
 	return s
 }
 
@@ -570,6 +600,7 @@ func (s *Station) handleJoin(decode func(any) error) (any, error) {
 		pos = req.OldPos
 		s.roster[pos] = req.Addr
 		changed = true
+		s.event("rejoin-grant", "pos", pos, "addr", req.Addr, "old-addr", takeoverAddr)
 	}
 	if pos == 0 {
 		s.n++
@@ -582,6 +613,9 @@ func (s *Station) handleJoin(decode func(any) error) (any, error) {
 		delete(s.suspect, pos)
 		s.hbFails[pos] = 0
 		changed = true
+		if req.Rejoin {
+			s.event("rejoin-grant", "pos", pos, "addr", req.Addr)
+		}
 	}
 	if changed {
 		s.epoch++

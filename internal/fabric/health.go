@@ -253,17 +253,26 @@ func (s *Station) recordProbe(pos int, err error) {
 			delete(s.suspect, pos)
 			s.epoch++
 		}
+		epoch := s.epoch
 		s.mu.Unlock()
+		if revive {
+			s.event("revived", "pos", pos, "epoch", epoch)
+		}
 		return
 	}
 	s.hbFails[pos]++
-	declare := s.hbFails[pos] >= hbFailThreshold && !s.down[pos]
+	fails := s.hbFails[pos]
+	declare := fails >= hbFailThreshold && !s.down[pos]
 	if declare {
 		s.down[pos] = true
 		delete(s.suspect, pos)
 		s.epoch++
 	}
+	epoch := s.epoch
 	s.mu.Unlock()
+	if declare {
+		s.event("down-declared", "pos", pos, "fails", fails, "epoch", epoch, "cause", err.Error())
+	}
 }
 
 // noteSuspect records a locally observed peer failure and escalates it
@@ -283,6 +292,7 @@ func (s *Station) noteSuspect(pos int) {
 	if closed {
 		return
 	}
+	s.event("suspect", "pos", pos, "reporter", s.Pos())
 	if isRoot {
 		go s.confirmDown(pos)
 		return
@@ -308,9 +318,12 @@ func (s *Station) confirmDown(pos int) {
 		s.mu.Lock()
 		delete(s.suspect, pos)
 		s.mu.Unlock()
+		s.event("suspicion-refuted", "pos", pos)
 		return
 	}
-	s.MarkDown(pos)
+	if s.MarkDown(pos) == nil {
+		s.event("down-confirmed", "pos", pos, "epoch", s.Epoch())
+	}
 }
 
 // healthView renders the station's current liveness view.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/docdb"
 	"repro/internal/mtree"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/search"
 	"repro/internal/transport"
@@ -97,26 +98,29 @@ func (s *Station) markMigrated(url string) {
 
 // treeAgg is what one subtree's fan-out returns: the per-station
 // results plus whatever payload the operation aggregates — freed bytes
-// for migrations, ranked hits for scatter-gather searches. Pushes use
-// the results alone.
+// for migrations, ranked hits for scatter-gather searches, collected
+// spans for trace gathers. Pushes use the results alone.
 type treeAgg struct {
 	Stations []StationResult
 	Freed    int64
 	Hits     []search.Hit
+	Spans    []obs.Span
 }
 
-// fanOutTree delivers one tree operation (push, migrate or search) to
-// every child of pos in parallel and collects the subtree aggregates,
-// routing around dead hops: a known-down child is skipped outright, an
-// unreachable one gets the store-and-forward retry, and either way the
-// dead station's children are served directly by this station via a
-// recursive fan-out from the dead position (grafting). The dead hop
-// itself is reported per station in the result, never as a call
-// failure. send delivers to one child address and returns that
-// subtree's aggregate; routeAround classifies which send errors are
-// safe to repair by grafting (canRouteAround for one-shot deliveries,
-// a looser rule for idempotent reads — see searchFanOut).
-func (s *Station) fanOutTree(pos, m, n int, roster map[int]string, routeAround func(error) bool, send func(addr string) (treeAgg, error)) treeAgg {
+// fanOutTree delivers one tree operation (push, migrate, search or
+// trace gather) to every child of pos in parallel and collects the
+// subtree aggregates, routing around dead hops: a known-down child is
+// skipped outright, an unreachable one gets the store-and-forward
+// retry, and either way the dead station's children are served
+// directly by this station via a recursive fan-out from the dead
+// position (grafting). The dead hop itself is reported per station in
+// the result, never as a call failure. send delivers to one child
+// address and returns that subtree's aggregate; routeAround classifies
+// which send errors are safe to repair by grafting (canRouteAround for
+// one-shot deliveries, a looser rule for idempotent reads — see
+// searchFanOut). span, when the operation is traced, collects graft
+// annotations for this hop (nil is fine).
+func (s *Station) fanOutTree(span *obs.ActiveSpan, pos, m, n int, roster map[int]string, routeAround func(error) bool, send func(addr string) (treeAgg, error)) treeAgg {
 	kids, err := mtree.Children(pos, m, n)
 	if err != nil {
 		return treeAgg{Stations: []StationResult{{Pos: pos, Err: err.Error()}}}
@@ -129,11 +133,12 @@ func (s *Station) fanOutTree(pos, m, n int, roster map[int]string, routeAround f
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sub := s.childSubtree(kid, m, n, roster, routeAround, send)
+			sub := s.childSubtree(span, kid, m, n, roster, routeAround, send)
 			mu.Lock()
 			agg.Stations = append(agg.Stations, sub.Stations...)
 			agg.Freed += sub.Freed
 			agg.Hits = append(agg.Hits, sub.Hits...)
+			agg.Spans = append(agg.Spans, sub.Spans...)
 			mu.Unlock()
 		}()
 	}
@@ -143,8 +148,9 @@ func (s *Station) fanOutTree(pos, m, n int, roster map[int]string, routeAround f
 
 // childSubtree covers one child's subtree for fanOutTree: a reachable
 // child relays onward itself; a dead one is reported and its children
-// grafted onto this station.
-func (s *Station) childSubtree(kid, m, n int, roster map[int]string, routeAround func(error) bool, send func(addr string) (treeAgg, error)) treeAgg {
+// grafted onto this station — annotated on the hop's span and emitted
+// as a graft event so repairs are visible in traces and logs.
+func (s *Station) childSubtree(span *obs.ActiveSpan, kid, m, n int, roster map[int]string, routeAround func(error) bool, send func(addr string) (treeAgg, error)) treeAgg {
 	s.mu.Lock()
 	dead := s.down[kid] || s.suspect[kid]
 	s.mu.Unlock()
@@ -177,18 +183,21 @@ func (s *Station) childSubtree(kid, m, n int, roster map[int]string, routeAround
 			failure = err.Error()
 		}
 	}
-	sub := s.fanOutTree(kid, m, n, roster, routeAround, send)
+	span.Annotate("grafted dead child %d: %s", kid, failure)
+	s.event("graft", "station", s.Pos(), "child", kid, "cause", failure)
+	sub := s.fanOutTree(span, kid, m, n, roster, routeAround, send)
 	sub.Stations = append([]StationResult{{Pos: kid, Err: failure}}, sub.Stations...)
 	return sub
 }
 
 // fanOut relays a push to every child of pos, grafting around dead
 // hops. Every failure mode lands as a per-station result entry, never
-// as a call failure.
-func (s *Station) fanOut(pos int, req PushRequest) []StationResult {
-	agg := s.fanOutTree(pos, req.M, req.N, req.Roster, canRouteAround, func(addr string) (treeAgg, error) {
+// as a call failure. The hop's span context rides on each child call.
+func (s *Station) fanOut(pos int, req PushRequest, span *obs.ActiveSpan) []StationResult {
+	tc := span.Context()
+	agg := s.fanOutTree(span, pos, req.M, req.N, req.Roster, canRouteAround, func(addr string) (treeAgg, error) {
 		var reply PushReply
-		if err := s.callWithRetry(addr, methodPush, req, &reply); err != nil {
+		if err := s.callWithRetry(addr, methodPush, req, &reply, tc); err != nil {
 			return treeAgg{}, err
 		}
 		return treeAgg{Stations: reply.Results}, nil
@@ -210,13 +219,14 @@ func canRouteAround(err error) bool {
 // unreachable peer gets pushAttempts tries a short delay apart before
 // the caller routes around it. Timed-out calls are never re-sent (the
 // transport layer's own rule: the server may still be executing them).
-func (s *Station) callWithRetry(addr, method string, req, reply any) error {
+// tc carries the operation's trace context to the peer.
+func (s *Station) callWithRetry(addr, method string, req, reply any, tc obs.TraceContext) error {
 	var err error
 	for attempt := 0; attempt < pushAttempts; attempt++ {
 		if attempt > 0 {
 			time.Sleep(pushRetryDelay)
 		}
-		err = s.pool(addr).Call(method, req, reply)
+		err = s.pool(addr).CallTrace(method, req, reply, tc, 0)
 		if err == nil || !canRouteAround(err) {
 			return err
 		}
@@ -229,10 +239,11 @@ func (s *Station) callWithRetry(addr, method string, req, reply any) error {
 // dead station's own copy cannot be reclaimed now; it is reported and
 // reconciled when the station rejoins (its catch-up rebuilds the
 // document as a reference).
-func (s *Station) migrateFanOut(pos int, req MigrateRequest) MigrateReply {
-	agg := s.fanOutTree(pos, req.M, req.N, req.Roster, canRouteAround, func(addr string) (treeAgg, error) {
+func (s *Station) migrateFanOut(pos int, req MigrateRequest, span *obs.ActiveSpan) MigrateReply {
+	tc := span.Context()
+	agg := s.fanOutTree(span, pos, req.M, req.N, req.Roster, canRouteAround, func(addr string) (treeAgg, error) {
 		var reply MigrateReply
-		if err := s.callWithRetry(addr, methodMigrate, req, &reply); err != nil {
+		if err := s.callWithRetry(addr, methodMigrate, req, &reply, tc); err != nil {
 			return treeAgg{}, err
 		}
 		return treeAgg{Stations: reply.Stations, Freed: reply.Freed}, nil
@@ -245,9 +256,11 @@ func (s *Station) migrateFanOut(pos int, req MigrateRequest) MigrateReply {
 // ancestor (which relays further up itself), and only if every live
 // candidate proves unreachable are the suspected ones tried as a last
 // resort — they may have recovered since the last epoch reached this
-// station.
-func (s *Station) resolveViaAncestors(url string, ttl int) (*ResolveReply, error) {
+// station. span, when the resolve is traced, records skipped ancestors
+// and carries the trace context up the route.
+func (s *Station) resolveViaAncestors(url string, ttl int, span *obs.ActiveSpan) (*ResolveReply, error) {
 	v := s.view()
+	tc := span.Context()
 	live, err := mtree.LiveAncestors(v.pos, v.m, v.dead)
 	if err != nil {
 		return nil, err
@@ -263,7 +276,7 @@ func (s *Station) resolveViaAncestors(url string, ttl int) (*ResolveReply, error
 			continue
 		}
 		var reply ResolveReply
-		err := s.pool(addr).Call(methodResolve, ResolveRequest{URL: url, TTL: ttl}, &reply)
+		err := s.pool(addr).CallTrace(methodResolve, ResolveRequest{URL: url, TTL: ttl}, &reply, tc, 0)
 		if err == nil {
 			return &reply, nil
 		}
@@ -272,6 +285,7 @@ func (s *Station) resolveViaAncestors(url string, ttl int) (*ResolveReply, error
 			// example: no instance anywhere on its own route).
 			return nil, err
 		}
+		span.Annotate("skipped unreachable ancestor %d", p)
 		s.noteSuspect(p)
 		lastErr = err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/transport"
 )
@@ -55,8 +56,11 @@ type SearchRequest struct {
 
 // SearchReply aggregates a subtree's answer: the merged top-k hits and
 // one result entry per station covered (Err set for dead hops).
+// TraceID (stamped by the entry hop) names the query's distributed
+// trace.
 type SearchReply struct {
 	Hits     []search.Hit
+	TraceID  uint64
 	Stations []StationResult
 }
 
@@ -64,17 +68,26 @@ type SearchReply struct {
 // served by the root's scatter-gather over the distribution tree, with
 // this station's only extra cost the round trip to the root.
 func (s *Station) Search(q search.Query) (*SearchReply, error) {
+	span := s.observer().BeginLocal(methodSearch)
+	reply, err := s.searchSpanned(q, span)
+	span.End(err)
+	return reply, err
+}
+
+func (s *Station) searchSpanned(q search.Query, span *obs.ActiveSpan) (*SearchReply, error) {
 	v := s.view()
 	if v.pos == 0 {
 		return nil, ErrNotJoined
 	}
+	trace := span.Context().TraceID
 	// A term-less query matches nothing anywhere; answer it here
 	// instead of scattering one RPC per station for an empty reply.
 	if len(search.NormalizeTerms(q.Terms)) == 0 {
-		return &SearchReply{}, nil
+		return &SearchReply{TraceID: trace}, nil
 	}
 	if v.isRoot {
-		reply := s.scatterSearch(v, q)
+		reply := s.scatterSearch(v, q, span)
+		reply.TraceID = trace
 		return &reply, nil
 	}
 	rootAddr := v.roster[1]
@@ -83,17 +96,20 @@ func (s *Station) Search(q search.Query) (*SearchReply, error) {
 	}
 	req := SearchRequest{Terms: q.Terms, Phrase: q.Phrase, TopK: q.TopK}
 	var reply SearchReply
-	if err := s.pool(rootAddr).Call(methodSearch, req, &reply); err != nil {
+	if err := s.pool(rootAddr).CallTrace(methodSearch, req, &reply, span.Context(), 0); err != nil {
 		return nil, fmt.Errorf("fabric: forwarding search to root: %w", err)
 	}
+	reply.TraceID = trace
 	return &reply, nil
 }
 
 // handleSearch serves both roles of the search RPC. A client entry
 // (Scatter false) is forwarded to the root — or, on the root, turned
 // into the scatter. A scatter hop folds the carried topology in,
-// answers locally and relays down its subtree.
-func (s *Station) handleSearch(decode func(any) error) (any, error) {
+// answers locally and relays down its subtree. Either way the hop's
+// span context travels onward, so one TraceID covers the entry hop,
+// the root and every scatter hop.
+func (s *Station) handleSearch(ctx *transport.Ctx, decode func(any) error) (any, error) {
 	var req SearchRequest
 	if err := decode(&req); err != nil {
 		return nil, err
@@ -102,7 +118,7 @@ func (s *Station) handleSearch(decode func(any) error) (any, error) {
 	if !req.Scatter {
 		// Client entry: exactly Station.Search's protocol (forward to
 		// the root, or scatter when this station is the root).
-		reply, err := s.Search(q)
+		reply, err := s.searchSpanned(q, ctx.Span())
 		if err != nil {
 			return nil, err
 		}
@@ -115,18 +131,18 @@ func (s *Station) handleSearch(decode func(any) error) (any, error) {
 	if pos == 0 {
 		return nil, ErrNotJoined
 	}
-	return s.gatherSubtree(pos, req, q), nil
+	return s.gatherSubtree(pos, req, q, ctx.Span()), nil
 }
 
 // scatterSearch runs the root's side of a query: stamp the topology
 // into the scatter request and gather the whole tree.
-func (s *Station) scatterSearch(v view, q search.Query) SearchReply {
+func (s *Station) scatterSearch(v view, q search.Query, span *obs.ActiveSpan) SearchReply {
 	req := SearchRequest{
 		Terms: q.Terms, Phrase: q.Phrase, TopK: q.TopK, Scatter: true,
 		M: v.m, N: v.n, Watermark: v.watermark,
 		Epoch: v.epoch, Roster: v.roster, Down: v.down,
 	}
-	return s.gatherSubtree(v.pos, req, q)
+	return s.gatherSubtree(v.pos, req, q, span)
 }
 
 // gatherSubtree answers for one station and everything below it: local
@@ -134,9 +150,9 @@ func (s *Station) scatterSearch(v view, q search.Query) SearchReply {
 // fan-out, and one bounded top-k merge before the reply travels up —
 // the per-hop merge that keeps every transfer O(k) no matter how large
 // the subtree.
-func (s *Station) gatherSubtree(pos int, req SearchRequest, q search.Query) SearchReply {
+func (s *Station) gatherSubtree(pos int, req SearchRequest, q search.Query, span *obs.ActiveSpan) SearchReply {
 	local := s.localHits(q, pos)
-	agg := s.searchFanOut(pos, req)
+	agg := s.searchFanOut(pos, req, span)
 	return SearchReply{
 		Hits:     search.Merge(q.TopK, local, agg.Hits),
 		Stations: append([]StationResult{{Pos: pos}}, agg.Stations...),
@@ -164,10 +180,11 @@ func (s *Station) localHits(q search.Query, pos int) []search.Hit {
 // grafted around (transport.Unreachable, not canRouteAround): the
 // query is idempotent and the merge deduplicates, so re-covering a
 // subtree is safe, while waiting out a wedged station is not.
-func (s *Station) searchFanOut(pos int, req SearchRequest) treeAgg {
-	return s.fanOutTree(pos, req.M, req.N, req.Roster, transport.Unreachable, func(addr string) (treeAgg, error) {
+func (s *Station) searchFanOut(pos int, req SearchRequest, span *obs.ActiveSpan) treeAgg {
+	tc := span.Context()
+	return s.fanOutTree(span, pos, req.M, req.N, req.Roster, transport.Unreachable, func(addr string) (treeAgg, error) {
 		var reply SearchReply
-		if err := s.callSearchWithRetry(addr, req, &reply); err != nil {
+		if err := s.callSearchWithRetry(addr, req, &reply, tc); err != nil {
 			return treeAgg{}, err
 		}
 		return treeAgg{Stations: reply.Stations, Hits: reply.Hits}, nil
@@ -177,13 +194,13 @@ func (s *Station) searchFanOut(pos int, req SearchRequest) treeAgg {
 // callSearchWithRetry is callWithRetry with the search rules: a short
 // per-hop timeout and retries for every unreachable classification
 // (timeouts included — the operation is idempotent).
-func (s *Station) callSearchWithRetry(addr string, req SearchRequest, reply *SearchReply) error {
+func (s *Station) callSearchWithRetry(addr string, req SearchRequest, reply *SearchReply, tc obs.TraceContext) error {
 	var err error
 	for attempt := 0; attempt < pushAttempts; attempt++ {
 		if attempt > 0 {
 			time.Sleep(pushRetryDelay)
 		}
-		err = s.pool(addr).CallWithTimeout(methodSearch, req, reply, searchCallTimeout)
+		err = s.pool(addr).CallTrace(methodSearch, req, reply, tc, searchCallTimeout)
 		if err == nil || !transport.Unreachable(err) {
 			return err
 		}

@@ -1,0 +1,237 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mtree"
+	"repro/internal/obs"
+)
+
+// expectedParents derives the tree's parent map from the same
+// arithmetic the fan-out uses, so the tests verify reconstruction
+// against mtree rather than re-deriving positions by hand.
+func expectedParents(t *testing.T, m, n int) map[int]int {
+	t.Helper()
+	parents := make(map[int]int)
+	for pos := 1; pos <= n; pos++ {
+		kids, err := mtree.Children(pos, m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kid := range kids {
+			parents[kid] = pos
+		}
+	}
+	return parents
+}
+
+// spansByStation indexes a trace's spans, enforcing the acceptance
+// rule on the way: every station contributes exactly one span per hop
+// it served.
+func spansByStation(t *testing.T, spans []obs.Span, id uint64) map[int][]obs.Span {
+	t.Helper()
+	by := make(map[int][]obs.Span)
+	for _, sp := range spans {
+		if sp.TraceID != id {
+			t.Fatalf("collected span %x carries trace %x, want %x", sp.SpanID, sp.TraceID, id)
+		}
+		if sp.Duration <= 0 {
+			t.Errorf("span %x at station %d has duration %v", sp.SpanID, sp.Station, sp.Duration)
+		}
+		by[sp.Station] = append(by[sp.Station], sp)
+	}
+	return by
+}
+
+func TestTraceReconstructsBroadcastHopTree(t *testing.T) {
+	stations := newFabric(t, 13, 3, 1)
+	root := stations[0]
+	spec := authorCourse(t, root, 13)
+
+	admin := DialAdmin(root.Addr())
+	defer admin.Close()
+	res, err := admin.Broadcast(spec.URL, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID == 0 {
+		t.Fatal("broadcast result carries no trace ID")
+	}
+
+	trace, err := admin.Trace(res.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Spans) != 13 {
+		t.Fatalf("collected %d spans, want 13 (one hop per station)", len(trace.Spans))
+	}
+	by := spansByStation(t, trace.Spans, res.TraceID)
+	spanAt := make(map[int]obs.Span, 13)
+	for pos := 1; pos <= 13; pos++ {
+		got := by[pos]
+		if len(got) != 1 {
+			t.Fatalf("station %d contributed %d spans, want exactly 1", pos, len(got))
+		}
+		spanAt[pos] = got[0]
+	}
+	if spanAt[1].Method != methodBroadcast {
+		t.Errorf("root span method = %q, want %q", spanAt[1].Method, methodBroadcast)
+	}
+
+	// The reconstructed hop tree must be the distribution tree: every
+	// push span's parent is the span its mtree parent recorded.
+	parents := expectedParents(t, 3, 13)
+	for pos := 2; pos <= 13; pos++ {
+		sp := spanAt[pos]
+		if sp.Method != methodPush {
+			t.Errorf("station %d span method = %q, want %q", pos, sp.Method, methodPush)
+		}
+		want := spanAt[parents[pos]].SpanID
+		if sp.Parent != want {
+			t.Errorf("station %d span parent = %x, want station %d's span %x",
+				pos, sp.Parent, parents[pos], want)
+		}
+	}
+}
+
+func TestTraceReconstructsSearchScatter(t *testing.T) {
+	stations := newFabric(t, 13, 3, 1)
+	root := stations[0]
+	spec := authorCourse(t, root, 13)
+	admin := DialAdmin(root.Addr())
+	defer admin.Close()
+	if _, err := admin.Broadcast(spec.URL, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Enter at a leaf station: its entry hop, the root hop and every
+	// scatter hop must share one TraceID.
+	entry := DialAdmin(stations[5].Addr())
+	defer entry.Close()
+	reply, err := entry.Search([]string{"lecture"}, false, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.TraceID == 0 {
+		t.Fatal("search reply carries no trace ID")
+	}
+
+	trace, err := admin.Trace(reply.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One scatter hop per station, plus the entry hop at station 6.
+	if len(trace.Spans) != 14 {
+		t.Fatalf("collected %d spans, want 14 (13 scatter hops + 1 entry hop)", len(trace.Spans))
+	}
+	by := spansByStation(t, trace.Spans, reply.TraceID)
+	for pos := 1; pos <= 13; pos++ {
+		want := 1
+		if pos == 6 {
+			want = 2 // the entry hop and its own scatter hop
+		}
+		if len(by[pos]) != want {
+			t.Fatalf("station %d contributed %d spans, want %d", pos, len(by[pos]), want)
+		}
+	}
+
+	// The entry hop is the root of the reconstruction; the root
+	// station's span hangs off it, and every first-level scatter hop
+	// hangs off the root's.
+	spans := append(by[6], by[1]...)
+	var entrySpan, rootSpan obs.Span
+	for _, sp := range spans {
+		switch sp.Station {
+		case 6:
+			if sp.Parent == 0 {
+				entrySpan = sp
+			}
+		case 1:
+			rootSpan = sp
+		}
+	}
+	if entrySpan.SpanID == 0 {
+		t.Fatal("no parentless entry span at station 6")
+	}
+	if rootSpan.Parent != entrySpan.SpanID {
+		t.Errorf("root span parent = %x, want entry span %x", rootSpan.Parent, entrySpan.SpanID)
+	}
+	parents := expectedParents(t, 3, 13)
+	for pos := 2; pos <= 13; pos++ {
+		for _, sp := range by[pos] {
+			if sp.SpanID == entrySpan.SpanID {
+				continue
+			}
+			want := spanAtStation(by, parents[pos], sp.Parent)
+			if !want {
+				t.Errorf("station %d scatter span parent %x not among station %d's spans",
+					pos, sp.Parent, parents[pos])
+			}
+		}
+	}
+}
+
+// spanAtStation reports whether any of a station's spans has the given
+// SpanID.
+func spanAtStation(by map[int][]obs.Span, pos int, id uint64) bool {
+	for _, sp := range by[pos] {
+		if sp.SpanID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTraceRecordsGraftAroundDeadStation(t *testing.T) {
+	stations := newFabric(t, 13, 3, 1)
+	root := stations[0]
+	spec := authorCourse(t, root, 13)
+
+	// Kill interior station 2 (children 5, 6, 7) and let the failure
+	// detector declare it dead before broadcasting.
+	stations[1].Close()
+	probeUntilDown(t, root, 2)
+
+	admin := DialAdmin(root.Addr())
+	defer admin.Close()
+	res, err := admin.Broadcast(spec.URL, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := admin.Trace(res.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 live stations, one hop each — the dead one contributes
+	// nothing, and the trace collection itself routes around it.
+	if len(trace.Spans) != 12 {
+		t.Fatalf("collected %d spans, want 12 (dead station contributes none)", len(trace.Spans))
+	}
+	by := spansByStation(t, trace.Spans, res.TraceID)
+	if len(by[2]) != 0 {
+		t.Fatalf("dead station 2 contributed %d spans", len(by[2]))
+	}
+
+	// The root's hop grafted the dead child: annotated on its span, and
+	// the orphaned children hang directly off the root's span.
+	rootSpan := by[1][0]
+	grafted := false
+	for _, note := range rootSpan.Notes {
+		if strings.Contains(note, "grafted dead child 2") {
+			grafted = true
+		}
+	}
+	if !grafted {
+		t.Errorf("root span notes %q lack the graft annotation", rootSpan.Notes)
+	}
+	for _, pos := range []int{5, 6, 7} {
+		if len(by[pos]) != 1 {
+			t.Fatalf("station %d contributed %d spans, want 1", pos, len(by[pos]))
+		}
+		if by[pos][0].Parent != rootSpan.SpanID {
+			t.Errorf("orphan station %d span parent = %x, want the grafting root span %x",
+				pos, by[pos][0].Parent, rootSpan.SpanID)
+		}
+	}
+}

@@ -75,22 +75,23 @@ func runOp(p *Profile, tgt Target, col *Collector, start time.Time, op Op) {
 	began := time.Now()
 	var (
 		bytes int64
+		trace uint64
 		err   error
 	)
 	switch op.Kind {
 	case "broadcast":
-		bytes, err = tgt.Broadcast(CourseURL(op.Course), op.RefsOnly)
+		bytes, trace, err = tgt.Broadcast(CourseURL(op.Course), op.RefsOnly)
 	case "migrate":
-		err = tgt.Migrate(CourseURL(op.Course))
+		trace, err = tgt.Migrate(CourseURL(op.Course))
 	case "resolve":
-		bytes, err = tgt.Resolve(op.Station, CourseURL(op.Course))
+		bytes, trace, err = tgt.Resolve(op.Station, CourseURL(op.Course))
 	case "search":
-		_, err = tgt.Search(op.Station, op.Terms, op.Phrase, op.TopK)
+		_, trace, err = tgt.Search(op.Station, op.Terms, op.Phrase, op.TopK)
 	case "checkout":
 		err = tgt.Checkout(op.Station, "script", op.ObjectID, op.User)
 	default:
 		err = fmt.Errorf("loadgen: unknown op kind %q", op.Kind)
 	}
 	conflict := op.Kind == "checkout" && IsConflict(err)
-	col.Record(op.Kind, time.Since(began), bytes, lag, err, conflict)
+	col.Record(op.Kind, op.Phase, time.Since(began), bytes, lag, trace, err, conflict)
 }

@@ -36,15 +36,15 @@ func (f *fakeTarget) note(kind string) error {
 }
 
 func (f *fakeTarget) Stations() int { return f.stations }
-func (f *fakeTarget) Broadcast(url string, refsOnly bool) (int64, error) {
-	return 100, f.note("broadcast")
+func (f *fakeTarget) Broadcast(url string, refsOnly bool) (int64, uint64, error) {
+	return 100, 0xabc, f.note("broadcast")
 }
-func (f *fakeTarget) Migrate(url string) error { return f.note("migrate") }
-func (f *fakeTarget) Resolve(station int, url string) (int64, error) {
-	return 10, f.note("resolve")
+func (f *fakeTarget) Migrate(url string) (uint64, error) { return 0xabc, f.note("migrate") }
+func (f *fakeTarget) Resolve(station int, url string) (int64, uint64, error) {
+	return 10, 0xabc, f.note("resolve")
 }
-func (f *fakeTarget) Search(station int, terms []string, phrase bool, topK int) (int, error) {
-	return 1, f.note("search")
+func (f *fakeTarget) Search(station int, terms []string, phrase bool, topK int) (int, uint64, error) {
+	return 1, 0xabc, f.note("search")
 }
 func (f *fakeTarget) Checkout(station int, kind, objectID, user string) error {
 	return f.note("checkout")
@@ -216,9 +216,31 @@ func TestReportSchema(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"profile", "seed", "time_scale", "stations", "m",
-		"sim_seconds", "wall_seconds", "ops", "slos", "pass", "station_stats"} {
+		"sim_seconds", "wall_seconds", "ops", "slos", "pass", "station_stats",
+		"slow_traces"} {
 		if _, ok := decoded[key]; !ok {
 			t.Errorf("report missing key %q", key)
+		}
+	}
+	// Every traced op competes for its phase's exemplar slots; the fake
+	// target stamps trace 0xabc on everything, so exemplars must be
+	// bounded per phase and carry the formatted ID.
+	if len(report.SlowTraces) == 0 {
+		t.Fatal("no slow-trace exemplars in a run with traced ops")
+	}
+	perPhase := map[string]int{}
+	for _, st := range report.SlowTraces {
+		perPhase[st.Phase]++
+		if st.TraceID != "0000000000000abc" {
+			t.Errorf("exemplar trace ID = %q", st.TraceID)
+		}
+		if st.LatencyMs < 0 || st.Op == "" || st.Phase == "" {
+			t.Errorf("malformed exemplar %+v", st)
+		}
+	}
+	for phase, n := range perPhase {
+		if n > slowExemplarsPerPhase {
+			t.Errorf("phase %s kept %d exemplars, cap is %d", phase, n, slowExemplarsPerPhase)
 		}
 	}
 	ops, _ := decoded["ops"].(map[string]any)

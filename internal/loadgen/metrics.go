@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The collector keeps every successful-op latency sample per op class
@@ -11,10 +13,25 @@ import (
 // of ops, not millions, and exact percentiles make SLO verdicts
 // reproducible to the nanosecond for the determinism tests.
 
+// slowExemplarsPerPhase bounds how many slow-op exemplars a phase
+// keeps — enough to hand an investigator a few trace IDs, small enough
+// that reports stay readable.
+const slowExemplarsPerPhase = 3
+
 // Collector aggregates op outcomes across all phase workers.
 type Collector struct {
 	mu      sync.Mutex
 	classes map[string]*opClass
+	slow    map[string][]SlowTrace // per phase, slowest-first, bounded
+}
+
+// SlowTrace is one exemplar slow op: its phase, op class, latency and
+// the distributed trace ID that reconstructs it (`webdocctl trace`).
+type SlowTrace struct {
+	Phase     string  `json:"phase"`
+	Op        string  `json:"op"`
+	TraceID   string  `json:"trace_id"`
+	LatencyMs float64 `json:"latency_ms"`
 }
 
 type opClass struct {
@@ -28,7 +45,7 @@ type opClass struct {
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{classes: map[string]*opClass{}}
+	return &Collector{classes: map[string]*opClass{}, slow: map[string][]SlowTrace{}}
 }
 
 func (c *Collector) class(op string) *opClass {
@@ -43,8 +60,10 @@ func (c *Collector) class(op string) *opClass {
 // Record notes one completed op. Conflicts (checkout contention) are a
 // workload outcome, not a failure, so they are tallied separately and
 // excluded from the error rate. Latency samples only cover successes —
-// a fast error must not improve a percentile.
-func (c *Collector) Record(op string, latency time.Duration, bytes int64, lag time.Duration, err error, conflict bool) {
+// a fast error must not improve a percentile. A successful op carrying
+// a trace ID competes for the phase's slow-exemplar slots, so every
+// report hands the investigator trace IDs for its worst ops.
+func (c *Collector) Record(op, phase string, latency time.Duration, bytes int64, lag time.Duration, trace uint64, err error, conflict bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cl := c.class(op)
@@ -58,7 +77,38 @@ func (c *Collector) Record(op string, latency time.Duration, bytes int64, lag ti
 	default:
 		cl.bytes += bytes
 		cl.samples = append(cl.samples, latency)
+		if trace != 0 {
+			c.noteSlow(SlowTrace{Phase: phase, Op: op, TraceID: obs.FormatTraceID(trace), LatencyMs: ms(latency)})
+		}
 	}
+}
+
+// noteSlow keeps the phase's slowest exemplars (mu held).
+func (c *Collector) noteSlow(st SlowTrace) {
+	slot := c.slow[st.Phase]
+	slot = append(slot, st)
+	sort.Slice(slot, func(i, j int) bool { return slot[i].LatencyMs > slot[j].LatencyMs })
+	if len(slot) > slowExemplarsPerPhase {
+		slot = slot[:slowExemplarsPerPhase]
+	}
+	c.slow[st.Phase] = slot
+}
+
+// SlowTraces lists every phase's slow-op exemplars, grouped by phase
+// name and slowest-first within a phase.
+func (c *Collector) SlowTraces() []SlowTrace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	phases := make([]string, 0, len(c.slow))
+	for name := range c.slow {
+		phases = append(phases, name)
+	}
+	sort.Strings(phases)
+	var out []SlowTrace
+	for _, name := range phases {
+		out = append(out, c.slow[name]...)
+	}
+	return out
 }
 
 // OpSummary is one op class's aggregate, JSON-shaped for the report.

@@ -31,6 +31,11 @@ type Report struct {
 
 	Ops map[string]OpSummary `json:"ops"`
 
+	// SlowTraces are each phase's slowest successful ops with their
+	// distributed trace IDs — feed one to `webdocctl trace` while the
+	// fabric is still up to reconstruct the hop tree.
+	SlowTraces []SlowTrace `json:"slow_traces,omitempty"`
+
 	SLOs []SLOResult `json:"slos"`
 	Pass bool        `json:"pass"`
 
@@ -127,6 +132,7 @@ func BuildReport(p *Profile, col *Collector, wall time.Duration, stats []cluster
 		SimSeconds:  sim.Seconds(),
 		WallSeconds: wall.Seconds(),
 		Ops:         ops,
+		SlowTraces:  col.SlowTraces(),
 		SLOs:        slos,
 		Pass:        pass,
 	}

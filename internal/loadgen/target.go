@@ -19,15 +19,16 @@ type Target interface {
 	// Stations reports how many stations are addressable.
 	Stations() int
 	// Broadcast pushes one course tree-wide from the root, returning
-	// the bundle transfer size.
-	Broadcast(url string, refsOnly bool) (int64, error)
+	// the bundle transfer size and the operation's trace ID (0 when the
+	// target records no traces).
+	Broadcast(url string, refsOnly bool) (int64, uint64, error)
 	// Migrate runs the end-of-lecture migration from the root.
-	Migrate(url string) error
+	Migrate(url string) (uint64, error)
 	// Resolve makes a station fetch a course for itself, returning the
 	// transfer size (0 when already resident).
-	Resolve(station int, url string) (int64, error)
+	Resolve(station int, url string) (int64, uint64, error)
 	// Search runs a federation-wide query through a station.
-	Search(station int, terms []string, phrase bool, topK int) (int, error)
+	Search(station int, terms []string, phrase bool, topK int) (int, uint64, error)
 	// Checkout opens and immediately closes a checkout on a station's
 	// configuration-management ledger.
 	Checkout(station int, kind, objectID, user string) error
@@ -96,36 +97,39 @@ func (t *FabricTarget) Stations() int { return len(t.stations) }
 func (t *FabricTarget) Addrs() []string { return t.addrs }
 
 // Broadcast pushes one course tree-wide from the root.
-func (t *FabricTarget) Broadcast(url string, refsOnly bool) (int64, error) {
+func (t *FabricTarget) Broadcast(url string, refsOnly bool) (int64, uint64, error) {
 	res, err := t.admins[0].Broadcast(url, refsOnly)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return res.Bytes, nil
+	return res.Bytes, res.TraceID, nil
 }
 
 // Migrate runs the end-of-lecture migration from the root.
-func (t *FabricTarget) Migrate(url string) error {
-	_, err := t.admins[0].EndLecture(url)
-	return err
+func (t *FabricTarget) Migrate(url string) (uint64, error) {
+	res, err := t.admins[0].EndLecture(url)
+	if err != nil {
+		return 0, err
+	}
+	return res.TraceID, nil
 }
 
 // Resolve makes one station pull a course for itself.
-func (t *FabricTarget) Resolve(station int, url string) (int64, error) {
+func (t *FabricTarget) Resolve(station int, url string) (int64, uint64, error) {
 	res, err := t.admins[station].Fetch(url)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return res.Bytes, nil
+	return res.Bytes, res.TraceID, nil
 }
 
 // Search runs a federated query through one station.
-func (t *FabricTarget) Search(station int, terms []string, phrase bool, topK int) (int, error) {
+func (t *FabricTarget) Search(station int, terms []string, phrase bool, topK int) (int, uint64, error) {
 	res, err := t.admins[station].Search(terms, phrase, topK)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return len(res.Hits), nil
+	return len(res.Hits), res.TraceID, nil
 }
 
 // Checkout exercises the station's transactional checkout ledger:

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventSink consumes structured one-line event records. Fault paths in
+// the fabric (heartbeat suspicion, down confirmation, grafts, rejoin
+// grants, checkpoint installs) emit through a sink when one is
+// configured and stay silent otherwise — the quiet default.
+type EventSink func(line string)
+
+// Event formats a structured one-line record: "event=<name> k=v ...".
+// Values render with %v; any value whose rendering contains a space or
+// quote is %q-quoted so lines stay machine-splittable on spaces.
+func Event(name string, kv ...any) string {
+	var b strings.Builder
+	b.WriteString("event=")
+	b.WriteString(name)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v=", kv[i])
+		val := fmt.Sprintf("%v", kv[i+1])
+		if strings.ContainsAny(val, " \t\"") || val == "" {
+			val = fmt.Sprintf("%q", val)
+		}
+		b.WriteString(val)
+	}
+	return b.String()
+}

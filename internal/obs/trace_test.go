@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := make(map[uint64]bool, 10000)
+	for i := 0; i < 10000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("zero trace id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %x after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanRingWrapAndForTrace(t *testing.T) {
+	r := NewSpanRing(4)
+	for i := 1; i <= 6; i++ {
+		r.Add(Span{TraceID: uint64(i%2 + 1), SpanID: uint64(i)})
+	}
+	all := r.Snapshot()
+	if len(all) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(all))
+	}
+	// Oldest-first: spans 3,4,5,6 survive.
+	if all[0].SpanID != 3 || all[3].SpanID != 6 {
+		t.Fatalf("ring order = %v..%v", all[0].SpanID, all[3].SpanID)
+	}
+	// Trace 1 owns even i (i%2+1==1): spans 4 and 6 retained.
+	got := r.ForTrace(1)
+	if len(got) != 2 || got[0].SpanID != 4 || got[1].SpanID != 6 {
+		t.Fatalf("ForTrace(1) = %+v", got)
+	}
+	if r.ForTrace(0) != nil {
+		t.Fatal("ForTrace(0) must return nothing")
+	}
+}
+
+func TestObserverSpanLifecycle(t *testing.T) {
+	o := NewObserver(16)
+	o.SetPos(5)
+
+	if sp := o.Begin(TraceContext{}, "Fabric.Push"); sp != nil {
+		t.Fatal("untraced request must yield a nil span")
+	}
+
+	parent := TraceContext{TraceID: 77, SpanID: 11}
+	sp := o.Begin(parent, "Fabric.Push")
+	if sp == nil {
+		t.Fatal("traced request must yield a span")
+	}
+	child := sp.Context()
+	if child.TraceID != 77 || child.SpanID == 0 || child.SpanID == parent.SpanID {
+		t.Fatalf("child context = %+v", child)
+	}
+	sp.Annotate("grafted dead child %d", 5)
+	sp.AddBytes(128)
+	sp.End(errors.New("boom"))
+
+	spans := o.ForTrace(77)
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	got := spans[0]
+	if got.Parent != 11 || got.Station != 5 || got.Bytes != 128 || got.Err != "boom" {
+		t.Fatalf("span = %+v", got)
+	}
+	if len(got.Notes) != 1 || got.Notes[0] != "grafted dead child 5" {
+		t.Fatalf("notes = %v", got.Notes)
+	}
+	if got.Duration < 0 {
+		t.Fatalf("duration = %v", got.Duration)
+	}
+}
+
+func TestNilObserverAndSpanSafe(t *testing.T) {
+	var o *Observer
+	o.SetPos(3)
+	o.Observe("m", time.Millisecond, false)
+	if o.Pos() != 0 || o.ForTrace(1) != nil || o.RecentSpans(5) != nil {
+		t.Fatal("nil observer must be inert")
+	}
+	sp := o.Begin(TraceContext{TraceID: 9}, "m")
+	if sp != nil {
+		t.Fatal("nil observer must yield nil span")
+	}
+	// Every ActiveSpan method tolerates nil.
+	sp.Annotate("x %d", 1)
+	sp.AddBytes(10)
+	sp.End(nil)
+	if ctx := sp.Context(); ctx.TraceID != 0 {
+		t.Fatalf("nil span context = %+v", ctx)
+	}
+}
+
+func TestRecentSpansNewestFirst(t *testing.T) {
+	o := NewObserver(8)
+	for i := 1; i <= 3; i++ {
+		sp := o.Begin(TraceContext{TraceID: uint64(i)}, "m")
+		sp.End(nil)
+	}
+	recent := o.RecentSpans(2)
+	if len(recent) != 2 || recent[0].TraceID != 3 || recent[1].TraceID != 2 {
+		t.Fatalf("recent = %+v", recent)
+	}
+}
+
+func TestEventFormat(t *testing.T) {
+	line := Event("graft", "parent", 2, "child", 5, "err", "dial tcp: connection refused")
+	if !strings.HasPrefix(line, "event=graft parent=2 child=5 err=") {
+		t.Fatalf("line = %q", line)
+	}
+	if !strings.Contains(line, `"dial tcp: connection refused"`) {
+		t.Fatalf("spacey value not quoted: %q", line)
+	}
+	if got := Event("rejoin", "pos", 4); got != "event=rejoin pos=4" {
+		t.Fatalf("got %q", got)
+	}
+}

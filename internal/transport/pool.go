@@ -6,6 +6,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Pool defaults.
@@ -111,20 +113,31 @@ func (p *Pool) Down() bool {
 // must dedupe server-side — the fabric's install/migrate handlers
 // are idempotent by construction for exactly this reason.
 func (p *Pool) Call(method string, req, resp any) error {
-	return p.CallWithTimeout(method, req, resp, p.timeout)
+	return p.CallTrace(method, req, resp, obs.TraceContext{}, p.timeout)
 }
 
 // CallWithTimeout is Call with a per-call deadline overriding the
 // pool's default — liveness probes want a much shorter timeout than
 // the bundle transfers sharing the same peer pool.
 func (p *Pool) CallWithTimeout(method string, req, resp any, d time.Duration) error {
+	return p.CallTrace(method, req, resp, obs.TraceContext{}, d)
+}
+
+// CallTrace is CallWithTimeout carrying a trace context downstream
+// (see Client.CallTrace); the fabric's tree RPCs use it so one TraceID
+// stitches a whole traversal. d <= 0 selects the pool's default
+// timeout.
+func (p *Pool) CallTrace(method string, req, resp any, tc obs.TraceContext, d time.Duration) error {
+	if d <= 0 {
+		d = p.timeout
+	}
 	p.slots <- struct{}{}
 	defer func() { <-p.slots }()
 	c, fromIdle, err := p.get()
 	if err != nil {
 		return err
 	}
-	err, reusable := c.do(method, req, resp, d)
+	err, reusable := c.do(method, req, resp, d, tc)
 	if reusable {
 		p.put(c)
 		return err
@@ -137,7 +150,7 @@ func (p *Pool) CallWithTimeout(method string, req, resp any, d time.Duration) er
 	if dialErr != nil {
 		return dialErr
 	}
-	err, reusable = fresh.do(method, req, resp, d)
+	err, reusable = fresh.do(method, req, resp, d, tc)
 	if reusable {
 		p.put(fresh)
 	} else {

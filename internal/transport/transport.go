@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Protocol limits.
@@ -64,14 +66,20 @@ func Unreachable(err error) bool {
 // envelope is the wire message. More marks a streamed-response chunk:
 // the response continues in further frames with the same ID, and the
 // stream ends with a frame whose More is false (or whose Err reports a
-// mid-stream failure).
+// mid-stream failure). TraceID/Parent carry the distributed-tracing
+// context hop-by-hop: a non-zero TraceID makes the serving hop record
+// a span whose parent is the caller's span (Parent). Old peers ignore
+// the fields (gob skips unknowns), so traced and untraced stations
+// interoperate.
 type envelope struct {
-	ID     uint64
-	Method string
-	IsResp bool
-	More   bool
-	Err    string
-	Body   []byte
+	ID      uint64
+	Method  string
+	IsResp  bool
+	More    bool
+	Err     string
+	Body    []byte
+	TraceID uint64
+	Parent  uint64
 }
 
 // writeFrame sends one envelope with a 4-byte length prefix.
@@ -136,16 +144,50 @@ func Unmarshal(data []byte, v any) error {
 // an error.
 type Handler func(decode func(any) error) (any, error)
 
+// Ctx carries per-request observability state into handlers registered
+// with HandleCtx: the span the server opened for a traced request (nil
+// for untraced ones — every method tolerates that).
+type Ctx struct {
+	span *obs.ActiveSpan
+}
+
+// Span returns the request's span, nil when the request is untraced.
+func (c *Ctx) Span() *obs.ActiveSpan {
+	if c == nil {
+		return nil
+	}
+	return c.span
+}
+
+// Trace returns the context downstream calls should propagate: this
+// hop's span as parent. Zero when untraced.
+func (c *Ctx) Trace() obs.TraceContext { return c.Span().Context() }
+
+// Annotate appends a note to the request's span, if any.
+func (c *Ctx) Annotate(format string, args ...any) { c.Span().Annotate(format, args...) }
+
+// CtxHandler is a Handler that also receives the request Ctx. Only
+// methods that propagate traces downstream need it; everything else
+// registers a plain Handler and still gets histograms and a span for
+// the hop itself.
+type CtxHandler func(ctx *Ctx, decode func(any) error) (any, error)
+
 // Server dispatches requests to named handlers. Each connection gets a
 // reader goroutine; each request runs in its own goroutine, so slow
 // handlers do not stall the connection.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]CtxHandler
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+
+	// observer, when set, receives a latency-histogram observation for
+	// every dispatched request and a span for every traced one. An
+	// atomic pointer so benchmarks can toggle observability on a live
+	// server and measure its overhead.
+	observer atomic.Pointer[obs.Observer]
 
 	// Wire accounting, scraped by the Stats RPC of the station layer:
 	// every byte read from or written to an accepted connection, and
@@ -170,11 +212,17 @@ type ServerStats struct {
 // NewServer returns a server with no handlers.
 func NewServer() *Server {
 	return &Server{
-		handlers: make(map[string]Handler),
+		handlers: make(map[string]CtxHandler),
 		conns:    make(map[net.Conn]struct{}),
 		calls:    make(map[string]int64),
 	}
 }
+
+// SetObserver installs (or, with nil, removes) the server's observer.
+func (s *Server) SetObserver(o *obs.Observer) { s.observer.Store(o) }
+
+// Observer returns the installed observer, nil when none.
+func (s *Server) Observer() *obs.Observer { return s.observer.Load() }
 
 // Stats returns the server's wire accounting so far. The Calls map is
 // a copy, safe to retain.
@@ -217,6 +265,14 @@ func (c *countingConn) Write(p []byte) (int, error) {
 // Handle registers a method handler; it panics on duplicate names
 // (registration is static wiring).
 func (s *Server) Handle(method string, h Handler) {
+	s.HandleCtx(method, func(_ *Ctx, decode func(any) error) (any, error) {
+		return h(decode)
+	})
+}
+
+// HandleCtx registers a context-aware handler (see CtxHandler); it
+// panics on duplicate names.
+func (s *Server) HandleCtx(method string, h CtxHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.handlers[method]; ok {
@@ -280,18 +336,29 @@ func (s *Server) serveConn(conn net.Conn) {
 		h, ok := s.handlers[env.Method]
 		s.mu.RUnlock()
 		go func(env *envelope) {
+			// Per-request observability: every dispatch lands in the
+			// method's latency histogram; a traced request (non-zero
+			// TraceID) additionally records a span parented to the
+			// caller's hop.
+			o := s.Observer()
+			span := o.Begin(obs.TraceContext{TraceID: env.TraceID, SpanID: env.Parent}, env.Method)
+			start := time.Now()
 			resp := &envelope{ID: env.ID, Method: env.Method, IsResp: true}
 			if !ok {
 				resp.Err = ErrNoMethod.Error() + ": " + env.Method
 			} else {
-				out, err := h(func(v any) error { return Unmarshal(env.Body, v) })
+				out, err := h(&Ctx{span: span}, func(v any) error { return Unmarshal(env.Body, v) })
 				if err != nil {
 					resp.Err = err.Error()
 				} else if r, streamed := out.(io.Reader); streamed {
 					// A handler returning a reader streams its bytes
 					// in StreamChunk frames; the caller receives them
 					// through CallStream.
-					streamResponse(cc, &writeMu, env, r)
+					span.Annotate("streamed response")
+					n := streamResponse(cc, &writeMu, env, r)
+					o.Observe(env.Method, time.Since(start), false)
+					span.AddBytes(int64(len(env.Body)) + n)
+					span.End(nil)
 					return
 				} else if out != nil {
 					body, err := Marshal(out)
@@ -301,6 +368,13 @@ func (s *Server) serveConn(conn net.Conn) {
 						resp.Body = body
 					}
 				}
+			}
+			o.Observe(env.Method, time.Since(start), resp.Err != "")
+			span.AddBytes(int64(len(env.Body) + len(resp.Body)))
+			if resp.Err != "" {
+				span.End(errors.New(resp.Err))
+			} else {
+				span.End(nil)
 			}
 			writeMu.Lock()
 			defer writeMu.Unlock()
@@ -314,8 +388,9 @@ func (s *Server) serveConn(conn net.Conn) {
 // frame (or an Err frame on a mid-stream read failure). The reader is
 // closed when it implements io.Closer. Each chunk is encoded under the
 // connection's write lock, so chunks from concurrent handlers
-// interleave at frame granularity without corruption.
-func streamResponse(conn net.Conn, writeMu *sync.Mutex, env *envelope, r io.Reader) {
+// interleave at frame granularity without corruption. Returns the
+// body bytes relayed, for span accounting.
+func streamResponse(conn net.Conn, writeMu *sync.Mutex, env *envelope, r io.Reader) int64 {
 	if c, ok := r.(io.Closer); ok {
 		defer c.Close()
 	}
@@ -324,21 +399,23 @@ func streamResponse(conn net.Conn, writeMu *sync.Mutex, env *envelope, r io.Read
 		defer writeMu.Unlock()
 		return writeFrame(conn, resp) == nil
 	}
+	var total int64
 	buf := make([]byte, StreamChunk)
 	for {
 		n, err := r.Read(buf)
 		if n > 0 {
+			total += int64(n)
 			if !send(&envelope{ID: env.ID, Method: env.Method, IsResp: true, More: true, Body: buf[:n]}) {
-				return
+				return total
 			}
 		}
 		switch {
 		case errors.Is(err, io.EOF):
 			send(&envelope{ID: env.ID, Method: env.Method, IsResp: true})
-			return
+			return total
 		case err != nil:
 			send(&envelope{ID: env.ID, Method: env.Method, IsResp: true, Err: err.Error()})
-			return
+			return total
 		}
 	}
 }
@@ -416,7 +493,7 @@ func (c *Client) readLoop() {
 // resp (which may be nil for fire-and-forget semantics with an
 // acknowledgment).
 func (c *Client) Call(method string, req, resp any) error {
-	err, _ := c.do(method, req, resp, 0)
+	err, _ := c.do(method, req, resp, 0, obs.TraceContext{})
 	return err
 }
 
@@ -424,7 +501,15 @@ func (c *Client) Call(method string, req, resp any) error {
 // within d the call fails with ErrTimeout (a zero or negative d means no
 // deadline). A late response is discarded by the correlation table.
 func (c *Client) CallTimeout(method string, req, resp any, d time.Duration) error {
-	err, _ := c.do(method, req, resp, d)
+	err, _ := c.do(method, req, resp, d, obs.TraceContext{})
+	return err
+}
+
+// CallTrace is CallTimeout carrying a trace context: the serving hop
+// records a span for tc's trace, parented to tc's span. A zero tc is
+// an ordinary untraced call.
+func (c *Client) CallTrace(method string, req, resp any, tc obs.TraceContext, d time.Duration) error {
+	err, _ := c.do(method, req, resp, d, tc)
 	return err
 }
 
@@ -433,7 +518,7 @@ func (c *Client) CallTimeout(method string, req, resp any, d time.Duration) erro
 // server response (even an error response), false on any
 // transport-level failure. The pool uses the flag to decide between
 // parking and discarding the connection.
-func (c *Client) do(method string, req, resp any, d time.Duration) (error, bool) {
+func (c *Client) do(method string, req, resp any, d time.Duration, tc obs.TraceContext) (error, bool) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -452,7 +537,7 @@ func (c *Client) do(method string, req, resp any, d time.Duration) (error, bool)
 		c.mu.Unlock()
 		return err, true
 	}
-	env := &envelope{ID: id, Method: method, Body: body}
+	env := &envelope{ID: id, Method: method, Body: body, TraceID: tc.TraceID, Parent: tc.SpanID}
 	c.writeMu.Lock()
 	err = writeFrame(c.conn, env)
 	c.writeMu.Unlock()

@@ -13,10 +13,13 @@ import (
 	"html"
 	"net/http"
 	"net/url"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/docdb"
 	"repro/internal/library"
+	"repro/internal/obs"
 	"repro/internal/search"
 )
 
@@ -30,7 +33,10 @@ type Server struct {
 	// Federated answers federation-wide full-text queries through the
 	// distribution fabric; nil hides the federated mode.
 	Federated func(q search.Query) ([]search.Hit, error)
-	mux       *http.ServeMux
+	// Observer is the station's observability state; nil renders the
+	// /debug page as disabled.
+	Observer *obs.Observer
+	mux      *http.ServeMux
 }
 
 // New wires the handler tree.
@@ -47,7 +53,58 @@ func New(lib *library.Library, store *docdb.Store) *Server {
 	s.mux.HandleFunc("/checkout", s.handleCheckout)
 	s.mux.HandleFunc("/checkin", s.handleCheckin)
 	s.mux.HandleFunc("/assess", s.handleAssess)
+	s.mux.HandleFunc("/debug", s.handleDebug)
 	return s
+}
+
+// handleDebug renders the station's observability snapshot: the
+// slowest recent root spans (traced operations that started here, with
+// the trace IDs `webdocctl trace` takes) and the per-method latency
+// digests from the station's histograms.
+func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
+	s.page(w, "Station diagnostics", func(sb *strings.Builder) {
+		if s.Observer == nil {
+			sb.WriteString("<p>Observability is disabled on this station.</p>\n")
+			return
+		}
+		roots := make([]obs.Span, 0, 32)
+		for _, sp := range s.Observer.RecentSpans(obs.DefaultSpanCap) {
+			if sp.Parent == 0 {
+				roots = append(roots, sp)
+			}
+		}
+		sort.Slice(roots, func(i, j int) bool { return roots[i].Duration > roots[j].Duration })
+		if len(roots) > 20 {
+			roots = roots[:20]
+		}
+		sb.WriteString("<h2>Recent slow traces</h2>\n")
+		if len(roots) == 0 {
+			sb.WriteString("<p>No traced operations recorded yet.</p>\n")
+		} else {
+			sb.WriteString("<table border=1 cellpadding=4><tr><th>trace</th><th>method</th><th>station</th><th>duration</th><th>bytes</th><th>error</th><th>notes</th></tr>\n")
+			for _, sp := range roots {
+				fmt.Fprintf(sb, "<tr><td><code>%s</code></td><td>%s</td><td>%d</td><td>%s</td><td>%d</td><td>%s</td><td>%s</td></tr>\n",
+					obs.FormatTraceID(sp.TraceID), html.EscapeString(sp.Method), sp.Station,
+					sp.Duration.Round(10*time.Microsecond), sp.Bytes,
+					html.EscapeString(sp.Err), html.EscapeString(strings.Join(sp.Notes, "; ")))
+			}
+			sb.WriteString("</table>\n<p>Reconstruct a trace fabric-wide with <code>webdocctl trace &lt;id&gt;</code>.</p>\n")
+		}
+		sums := s.Observer.Metrics.Summaries()
+		sb.WriteString("<h2>Per-method latency</h2>\n")
+		if len(sums) == 0 {
+			sb.WriteString("<p>No RPCs served yet.</p>\n")
+			return
+		}
+		sb.WriteString("<table border=1 cellpadding=4><tr><th>method</th><th>count</th><th>errors</th><th>p50 ms</th><th>p95 ms</th><th>p99 ms</th><th>max ms</th><th>total ms</th></tr>\n")
+		for _, method := range obs.MethodsByTotal(sums) {
+			sum := sums[method]
+			fmt.Fprintf(sb, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.1f</td></tr>\n",
+				html.EscapeString(method), sum.Count, sum.Errors,
+				sum.P50Ms, sum.P95Ms, sum.P99Ms, sum.MaxMs, sum.TotalMs)
+		}
+		sb.WriteString("</table>\n")
+	})
 }
 
 // ServeHTTP implements http.Handler.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/blob"
 	"repro/internal/docdb"
 	"repro/internal/library"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/search"
 )
@@ -335,5 +336,32 @@ func TestUnknownPathIs404(t *testing.T) {
 	code, _ := get(t, ts.URL+"/nope")
 	if code != http.StatusNotFound {
 		t.Errorf("code = %d", code)
+	}
+}
+
+func TestDebugPageRendersTracesAndLatency(t *testing.T) {
+	srv, ts := newServer(t)
+
+	// Without an observer the page degrades gracefully.
+	code, body := get(t, ts.URL+"/debug")
+	if code != http.StatusOK || !strings.Contains(body, "disabled") {
+		t.Fatalf("debug without observer: code=%d body:\n%s", code, body)
+	}
+
+	// With an observer: one finished root span and its histogram entry.
+	o := obs.NewObserver(0)
+	o.SetPos(3)
+	sp := o.BeginLocal("Fabric.Broadcast")
+	sp.Annotate("grafted dead child 5: station down")
+	sp.End(nil)
+	o.Observe("Fabric.Broadcast", 42*time.Millisecond, false)
+	srv.Observer = o
+
+	_, body = get(t, ts.URL+"/debug")
+	id := obs.FormatTraceID(sp.Context().TraceID)
+	for _, want := range []string{id, "Fabric.Broadcast", "grafted dead child 5", "Per-method latency", "webdocctl trace"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("debug page missing %q:\n%s", want, body)
+		}
 	}
 }
