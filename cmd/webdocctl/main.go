@@ -237,10 +237,18 @@ func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool)
 			fmt.Printf("  station %-3d %-21s parent %s\n", pos, top.Roster[pos], parent)
 		}
 	case "broadcast":
-		if len(args) != 2 {
+		if len(args) < 2 {
 			usage()
 		}
-		res, err := admin.Broadcast(args[1], refsOnly)
+		// Several URLs ride one batched traversal: one coalesced frame
+		// per tree edge instead of one broadcast per document.
+		var res fabric.BroadcastResult
+		var err error
+		if len(args) == 2 {
+			res, err = admin.Broadcast(args[1], refsOnly)
+		} else {
+			res, err = admin.BroadcastAll(args[1:], refsOnly)
+		}
 		if err != nil {
 			fail("broadcast: %v", err)
 		}
@@ -251,14 +259,22 @@ func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool)
 		if res.RefOnly {
 			what = "references"
 		}
+		name := res.URL
+		if len(res.URLs) > 1 {
+			name = fmt.Sprintf("%d documents", len(res.URLs))
+		}
 		fmt.Printf("broadcast %s: %d bytes/copy as %s (trace %s)\n",
-			res.URL, res.Bytes, what, obs.FormatTraceID(res.TraceID))
+			name, res.Bytes, what, obs.FormatTraceID(res.TraceID))
 		for _, sr := range res.Stations {
+			doc := ""
+			if len(res.URLs) > 1 {
+				doc = " " + sr.URL
+			}
 			if sr.Err != "" {
-				fmt.Printf("  station %-3d ERROR %s\n", sr.Pos, sr.Err)
+				fmt.Printf("  station %-3d ERROR%s %s\n", sr.Pos, doc, sr.Err)
 				continue
 			}
-			fmt.Printf("  station %-3d %s\n", sr.Pos, sr.Form)
+			fmt.Printf("  station %-3d %s%s\n", sr.Pos, sr.Form, doc)
 		}
 	case "resolve":
 		if len(args) != 2 {
@@ -546,7 +562,8 @@ commands:
   checkpoint           write a checkpoint generation now (compacts the WAL tail)
   pull URL TARGET      copy a document bundle to another station
   topology             show the distribution fabric (any joined station)
-  broadcast URL        push a course down the m-ary tree (root; -refs for references)
+  broadcast URL...     push course(s) down the m-ary tree (root; -refs for references;
+                       several URLs share one batched traversal)
   resolve URL          make the station pull the document up its parent route
   migrate URL          post-lecture migration back to references (root)
   health               show per-station liveness (root view is authoritative)

@@ -1,12 +1,23 @@
 package blob
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
+
+	"repro/internal/wire"
 )
 
-// snapshotEntry is the gob image of one stored object.
+// snapshotEntry is the image of one stored object. On disk it is a
+// binary record under wire.BlobMagic:
+//
+//	[uvarint nentries] per entry:
+//	  [hash string][uvarint kind][uvarint refcount]
+//	  [uvarint nnames names...][data bytes]
+//
+// Pre-overhaul gob sidecars restore one last time through the read
+// fallback (a gob stream's first byte can never be BlobMagic).
 type snapshotEntry struct {
 	Hash     string
 	Kind     Kind
@@ -16,11 +27,14 @@ type snapshotEntry struct {
 }
 
 // Snapshot writes a point-in-time image of the store, so a station can
-// persist its BLOB layer alongside the relational snapshot.
+// persist its BLOB layer alongside the relational snapshot. Object
+// bytes land on disk as a flat copy under a CRC32C seal — no gob
+// reflection walk over megabyte video bodies.
 func (s *Store) Snapshot(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	entries := make([]snapshotEntry, 0, len(s.objects))
+	payload := wire.GetBuf()
+	payload = wire.AppendUvarint(payload, uint64(len(s.objects)))
 	for _, ref := range s.listLocked() {
 		e := s.objects[ref.Hash]
 		names := make([]string, 0, len(e.names))
@@ -28,23 +42,72 @@ func (s *Store) Snapshot(w io.Writer) error {
 			names = append(names, n)
 		}
 		sortStrings(names)
-		entries = append(entries, snapshotEntry{
-			Hash:     ref.Hash,
-			Kind:     e.kind,
-			Refcount: e.refcount,
-			Names:    names,
-			Data:     e.data,
-		})
+		payload = wire.AppendString(payload, ref.Hash)
+		payload = wire.AppendUvarint(payload, uint64(e.kind))
+		payload = wire.AppendUvarint(payload, uint64(e.refcount))
+		payload = wire.AppendUvarint(payload, uint64(len(names)))
+		for _, n := range names {
+			payload = wire.AppendString(payload, n)
+		}
+		payload = wire.AppendBytes(payload, e.data)
 	}
-	return gob.NewEncoder(w).Encode(entries)
+	sealed := wire.SealImage(wire.BlobMagic, payload)
+	wire.PutBuf(payload)
+	_, err := w.Write(sealed)
+	return err
+}
+
+// decodeSnapshot parses either sidecar format into entries.
+func decodeSnapshot(data []byte) ([]snapshotEntry, error) {
+	if !wire.IsImage(wire.BlobMagic, data) {
+		var entries []snapshotEntry
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&entries); err != nil {
+			return nil, fmt.Errorf("blob: decoding snapshot: %w", err)
+		}
+		return entries, nil
+	}
+	payload, err := wire.OpenImage(wire.BlobMagic, data)
+	if err != nil {
+		return nil, fmt.Errorf("blob: decoding snapshot: %w", err)
+	}
+	r := wire.NewReader(payload)
+	n := int(r.Uvarint())
+	if r.Err() == nil && n > r.Len() {
+		return nil, fmt.Errorf("blob: corrupt snapshot: %d entries in %d bytes", n, r.Len())
+	}
+	entries := make([]snapshotEntry, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		e := snapshotEntry{
+			Hash:     r.String(),
+			Kind:     Kind(r.Uvarint()),
+			Refcount: int(r.Uvarint()),
+		}
+		nn := int(r.Uvarint())
+		for j := 0; j < nn && r.Err() == nil; j++ {
+			e.Names = append(e.Names, r.String())
+		}
+		e.Data = r.Bytes()
+		entries = append(entries, e)
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("blob: corrupt snapshot: %w", r.Err())
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("blob: corrupt snapshot: %d trailing bytes", r.Len())
+	}
+	return entries, nil
 }
 
 // Restore replaces the store contents with a snapshot previously
 // written by Snapshot, verifying every object's content hash.
 func (s *Store) Restore(r io.Reader) error {
-	var entries []snapshotEntry
-	if err := gob.NewDecoder(r).Decode(&entries); err != nil {
-		return fmt.Errorf("blob: decoding snapshot: %w", err)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("blob: reading snapshot: %w", err)
+	}
+	entries, err := decodeSnapshot(data)
+	if err != nil {
+		return err
 	}
 	fresh := NewStore()
 	for _, e := range entries {

@@ -2,6 +2,7 @@ package blob
 
 import (
 	"bytes"
+	"encoding/gob"
 	"testing"
 )
 
@@ -85,5 +86,35 @@ func TestSnapshotEmptyStore(t *testing.T) {
 	}
 	if s2.Stats().Objects != 0 {
 		t.Error("empty snapshot produced objects")
+	}
+}
+
+// TestLegacyGobSnapshotRestores: Restore must still load the sidecar
+// the pre-binary gob encoder wrote, hash-verified as usual.
+func TestLegacyGobSnapshotRestores(t *testing.T) {
+	s := NewStore()
+	r1 := s.Put("a.gif", KindImage, []byte("image-bytes"))
+	r2 := s.Put("c.wav", KindAudio, []byte("audio-bytes"))
+	entries := []snapshotEntry{
+		{Hash: r1.Hash, Kind: KindImage, Refcount: 2, Names: []string{"a.gif", "b.gif"}, Data: []byte("image-bytes")},
+		{Hash: r2.Hash, Kind: KindAudio, Refcount: 1, Names: []string{"c.wav"}, Data: []byte("audio-bytes")},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	if err := s2.Restore(&buf); err != nil {
+		t.Fatalf("legacy gob snapshot rejected: %v", err)
+	}
+	if s2.RefCount(r1) != 2 || s2.RefCount(r2) != 1 {
+		t.Fatalf("refcounts = %d/%d, want 2/1", s2.RefCount(r1), s2.RefCount(r2))
+	}
+	data, err := s2.Get(r1)
+	if err != nil || !bytes.Equal(data, []byte("image-bytes")) {
+		t.Fatalf("content after legacy restore = %q err=%v", data, err)
+	}
+	if names := s2.Names(r1); len(names) != 2 || names[1] != "b.gif" {
+		t.Fatalf("names = %v", names)
 	}
 }

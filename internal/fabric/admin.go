@@ -7,9 +7,12 @@ import (
 	"repro/internal/transport"
 )
 
-// BroadcastRequest asks the root to run a tree-wide broadcast.
+// BroadcastRequest asks the root to run a tree-wide broadcast. URLs
+// (when set) selects the batched form: every document rides one
+// coalesced frame per tree edge; URL is the single-document form.
 type BroadcastRequest struct {
 	URL     string
+	URLs    []string
 	RefOnly bool
 }
 
@@ -31,7 +34,11 @@ func (s *Station) handleBroadcast(ctx *transport.Ctx, decode func(any) error) (a
 	if err := decode(&req); err != nil {
 		return nil, err
 	}
-	res, err := s.broadcastSpanned(req.URL, req.RefOnly, ctx.Span())
+	urls := req.URLs
+	if len(urls) == 0 {
+		urls = []string{req.URL}
+	}
+	res, err := s.broadcastAllSpanned(urls, req.RefOnly, ctx.Span())
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +103,14 @@ func adminTrace() obs.TraceContext {
 func (a *Admin) Broadcast(url string, refOnly bool) (BroadcastResult, error) {
 	var reply BroadcastResult
 	err := a.pool.CallTrace(methodBroadcast, BroadcastRequest{URL: url, RefOnly: refOnly}, &reply, adminTrace(), 0)
+	return reply, err
+}
+
+// BroadcastAll runs one batched tree-wide broadcast of several
+// documents from the root station (one coalesced frame per tree edge).
+func (a *Admin) BroadcastAll(urls []string, refOnly bool) (BroadcastResult, error) {
+	var reply BroadcastResult
+	err := a.pool.CallTrace(methodBroadcast, BroadcastRequest{URLs: urls, RefOnly: refOnly}, &reply, adminTrace(), 0)
 	return reply, err
 }
 

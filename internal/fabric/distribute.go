@@ -10,13 +10,20 @@ import (
 	"repro/internal/transport"
 )
 
-// PushRequest carries one broadcast hop: the bundle, the install
+// PushRequest carries one broadcast hop: the bundles, the install
 // policy and the epoch-numbered topology snapshot (roster plus the
 // root's down-set) the receiving station fans out under. RefOnly
 // bundles hold just the script and implementation rows (the metadata
 // closure of a document reference).
+//
+// Bundles is the coalesced form: one hop frame delivers every
+// document of a batched broadcast, so distributing k documents costs
+// one RPC per tree edge instead of k. Bundle is the legacy
+// single-document field, still decoded so a push from a pre-batching
+// peer installs correctly.
 type PushRequest struct {
 	Bundle    docdb.Bundle
+	Bundles   []docdb.Bundle
 	RefOnly   bool
 	M         int
 	N         int
@@ -26,10 +33,25 @@ type PushRequest struct {
 	Down      map[int]bool
 }
 
+// allBundles returns the documents this push carries, accepting both
+// the coalesced Bundles form and the legacy single-Bundle form.
+func (r *PushRequest) allBundles() []docdb.Bundle {
+	if len(r.Bundles) > 0 {
+		return r.Bundles
+	}
+	if r.Bundle.Impl.StartingURL != "" {
+		return []docdb.Bundle{r.Bundle}
+	}
+	return nil
+}
+
 // StationResult reports the outcome of a broadcast or migration on one
-// station.
+// station. URL names the document for batched broadcasts (one entry
+// per station per document); single-document operations leave it set
+// too, for uniformity.
 type StationResult struct {
 	Pos   int
+	URL   string
 	Form  string // resulting object form ("" when Err is set)
 	Freed int64  // migration only: physical bytes reclaimed
 	Err   string
@@ -43,11 +65,13 @@ type PushReply struct {
 // BroadcastResult summarizes one tree-wide broadcast. TraceID names
 // the distributed trace the traversal recorded (retrieve the hop tree
 // with the Trace RPC / `webdocctl trace`); zero when the root runs
-// with observability disabled.
+// with observability disabled. A batched broadcast (BroadcastAll)
+// lists every document in URLs and leaves URL on the first one.
 type BroadcastResult struct {
 	URL      string
+	URLs     []string
 	RefOnly  bool
-	Bytes    int64 // transfer size of one bundle copy
+	Bytes    int64 // transfer size of one copy of every bundle
 	TraceID  uint64
 	Stations []StationResult
 }
@@ -114,11 +138,63 @@ func (s *Station) Broadcast(url string, refOnly bool) (*BroadcastResult, error) 
 	return res, err
 }
 
+// BroadcastAll distributes several documents in ONE tree traversal:
+// each hop ships a single coalesced frame carrying every bundle, so
+// pushing k documents costs one RPC per tree edge instead of k — the
+// framing, topology snapshot and round trip are paid once per hop.
+// The per-station, per-document outcomes land in Stations with URL
+// set.
+func (s *Station) BroadcastAll(urls []string, refOnly bool) (*BroadcastResult, error) {
+	span := s.observer().BeginLocal(methodBroadcast)
+	res, err := s.broadcastAllSpanned(urls, refOnly, span)
+	span.End(err)
+	return res, err
+}
+
 func (s *Station) broadcastSpanned(url string, refOnly bool, span *obs.ActiveSpan) (*BroadcastResult, error) {
+	return s.broadcastAllSpanned([]string{url}, refOnly, span)
+}
+
+func (s *Station) broadcastAllSpanned(urls []string, refOnly bool, span *obs.ActiveSpan) (*BroadcastResult, error) {
 	if !s.isRoot {
 		return nil, fmt.Errorf("%w: broadcast", ErrNotRoot)
 	}
-	var bundle *docdb.Bundle
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("fabric: broadcast of zero documents")
+	}
+	bundles := make([]docdb.Bundle, 0, len(urls))
+	var total int64
+	for _, url := range urls {
+		bundle, err := s.bundleFor(url, refOnly)
+		if err != nil {
+			return nil, err
+		}
+		total += bundle.TotalBytes()
+		bundles = append(bundles, *bundle)
+	}
+	v := s.view()
+	req := PushRequest{
+		Bundles: bundles, RefOnly: refOnly,
+		M: v.m, N: v.n, Watermark: v.watermark,
+		Epoch: v.epoch, Roster: v.roster, Down: v.down,
+	}
+	// The catalog entries land before the fan-out: a station rejoining
+	// while this broadcast is still in flight must see the documents in
+	// its catch-up catalog — the root holds the bundles either way.
+	for _, url := range urls {
+		s.recordBroadcast(url, refOnly)
+	}
+	results := s.fanOut(v.pos, req, span)
+	sortResults(results)
+	return &BroadcastResult{
+		URL: urls[0], URLs: urls, RefOnly: refOnly, Bytes: total,
+		TraceID: span.Context().TraceID, Stations: results,
+	}, nil
+}
+
+// bundleFor builds one document's transfer closure: the metadata rows
+// alone for a reference broadcast, the full bundle otherwise.
+func (s *Station) bundleFor(url string, refOnly bool) (*docdb.Bundle, error) {
 	if refOnly {
 		impl, err := s.store.Implementation(url)
 		if err != nil {
@@ -128,30 +204,9 @@ func (s *Station) broadcastSpanned(url string, refOnly bool, span *obs.ActiveSpa
 		if err != nil {
 			return nil, err
 		}
-		bundle = &docdb.Bundle{Script: script, Impl: impl}
-	} else {
-		var err error
-		bundle, err = s.store.ExportBundle(url)
-		if err != nil {
-			return nil, err
-		}
+		return &docdb.Bundle{Script: script, Impl: impl}, nil
 	}
-	v := s.view()
-	req := PushRequest{
-		Bundle: *bundle, RefOnly: refOnly,
-		M: v.m, N: v.n, Watermark: v.watermark,
-		Epoch: v.epoch, Roster: v.roster, Down: v.down,
-	}
-	// The catalog entry lands before the fan-out: a station rejoining
-	// while this broadcast is still in flight must see the document in
-	// its catch-up catalog — the root holds the bundle either way.
-	s.recordBroadcast(url, refOnly)
-	results := s.fanOut(v.pos, req, span)
-	sortResults(results)
-	return &BroadcastResult{
-		URL: url, RefOnly: refOnly, Bytes: bundle.TotalBytes(),
-		TraceID: span.Context().TraceID, Stations: results,
-	}, nil
+	return s.store.ExportBundle(url)
 }
 
 // handlePush installs the pushed document locally (store), then
@@ -171,26 +226,32 @@ func (s *Station) handlePush(ctx *transport.Ctx, decode func(any) error) (any, e
 	if pos == 0 {
 		return nil, ErrNotJoined
 	}
-	res := StationResult{Pos: pos}
+	bundles := req.allBundles()
+	local := make([]StationResult, 0, len(bundles))
 	s.importMu.Lock()
-	if req.RefOnly {
-		obj, err := s.store.ImportReference(req.Bundle.Script, req.Bundle.Impl, pos, 1)
-		if err != nil {
-			res.Err = err.Error()
+	for i := range bundles {
+		bundle := &bundles[i]
+		res := StationResult{Pos: pos, URL: bundle.Impl.StartingURL}
+		if req.RefOnly {
+			obj, err := s.store.ImportReference(bundle.Script, bundle.Impl, pos, 1)
+			if err != nil {
+				res.Err = err.Error()
+			} else {
+				res.Form = obj.Form
+			}
 		} else {
-			res.Form = obj.Form
+			obj, err := s.store.ImportBundle(bundle, pos, false)
+			if err != nil {
+				res.Err = err.Error()
+			} else {
+				res.Form = obj.Form
+			}
 		}
-	} else {
-		obj, err := s.store.ImportBundle(&req.Bundle, pos, false)
-		if err != nil {
-			res.Err = err.Error()
-		} else {
-			res.Form = obj.Form
-		}
+		local = append(local, res)
 	}
 	s.importMu.Unlock()
 	sub := s.fanOut(pos, req, ctx.Span())
-	return PushReply{Results: append([]StationResult{res}, sub...)}, nil
+	return PushReply{Results: append(local, sub...)}, nil
 }
 
 // Resolve retrieves a document for this station: served locally when

@@ -648,7 +648,13 @@ func (s *Station) handleTopology(decode func(any) error) (any, error) {
 	}, nil
 }
 
-// sortResults orders per-station results by linear position.
+// sortResults orders per-station results by linear position, then by
+// document URL so batched broadcasts report deterministically.
 func sortResults(rs []StationResult) {
-	sort.Slice(rs, func(i, j int) bool { return rs[i].Pos < rs[j].Pos })
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Pos != rs[j].Pos {
+			return rs[i].Pos < rs[j].Pos
+		}
+		return rs[i].URL < rs[j].URL
+	})
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/relstore"
 	"repro/internal/schema"
 	"repro/internal/search"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -202,6 +203,87 @@ func TestBroadcastReferencesCarryNoBlobs(t *testing.T) {
 		if phys := st.Store().Blobs().Stats().PhysicalBytes; phys != 0 {
 			t.Errorf("station %d: %d physical bytes after reference broadcast", i+2, phys)
 		}
+	}
+}
+
+// TestBroadcastAllBatchesDocuments: several documents ride one batched
+// traversal, landing everywhere with per-station per-document results.
+func TestBroadcastAllBatchesDocuments(t *testing.T) {
+	stations := newFabric(t, 5, 2, 1)
+	specA := authorCourse(t, stations[0], 1)
+	specB := authorCourse(t, stations[0], 2)
+	if specA.URL == specB.URL {
+		t.Fatalf("course specs share URL %q", specA.URL)
+	}
+	urls := []string{specA.URL, specB.URL}
+
+	admin := DialAdmin(stations[0].Addr())
+	defer admin.Close()
+	res, err := admin.BroadcastAll(urls, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.URL != urls[0] || len(res.URLs) != 2 {
+		t.Fatalf("result names %q / %v", res.URL, res.URLs)
+	}
+	// One result per station per document, each labeled with its URL.
+	seen := make(map[string]int)
+	for _, sr := range res.Stations {
+		if sr.Err != "" || sr.Form != schema.FormInstance {
+			t.Errorf("station %d %s: form=%q err=%q", sr.Pos, sr.URL, sr.Form, sr.Err)
+		}
+		seen[fmt.Sprintf("%d/%s", sr.Pos, sr.URL)]++
+	}
+	if len(seen) != 8 || len(res.Stations) != 8 {
+		t.Fatalf("results = %+v", res.Stations)
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Errorf("result %s reported %d times", key, n)
+		}
+	}
+	// Both documents are physically resident on every station.
+	for i, st := range stations[1:] {
+		for _, url := range urls {
+			obj, err := st.Store().ObjectByURL(url)
+			if err != nil || obj.Form != schema.FormInstance {
+				t.Fatalf("station %d %s: obj=%+v err=%v", i+2, url, obj, err)
+			}
+		}
+	}
+}
+
+// TestLegacyPushRequestStillInstalls: a push from a pre-batching peer
+// (single Bundle field, no Bundles) must install as before.
+func TestLegacyPushRequestStillInstalls(t *testing.T) {
+	stations := newFabric(t, 3, 2, 1)
+	spec := authorCourse(t, stations[0], 1)
+	bundle, err := stations[0].Store().ExportBundle(spec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := stations[0].view()
+	req := PushRequest{
+		Bundle: *bundle, RefOnly: false,
+		M: v.m, N: v.n, Watermark: v.watermark,
+		Epoch: v.epoch, Roster: v.roster, Down: v.down,
+	}
+	leaf := stations[2] // position 3: no children, so no fan-out
+	pool := transport.NewPool(leaf.Addr(), 1, time.Minute)
+	defer pool.Close()
+	var reply PushReply
+	if err := pool.Call(methodPush, req, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Results) != 1 {
+		t.Fatalf("results = %+v", reply.Results)
+	}
+	got := reply.Results[0]
+	if got.Pos != 3 || got.Err != "" || got.Form != schema.FormInstance || got.URL != spec.URL {
+		t.Fatalf("legacy push result = %+v", got)
+	}
+	if obj, err := leaf.Store().ObjectByURL(spec.URL); err != nil || obj.Form != schema.FormInstance {
+		t.Fatalf("leaf store: obj=%+v err=%v", obj, err)
 	}
 }
 

@@ -71,12 +71,16 @@ type Span struct {
 
 // SpanRing is a bounded, concurrent-safe ring of completed spans:
 // recent traces stay inspectable, memory stays fixed, old spans fall
-// off the back.
+// off the back. A small reservoir biases retention toward the spans
+// worth keeping: pure FIFO eviction loses exactly the interesting
+// evidence — one slow or failed hop drowned by thousands of fast ones
+// — so errors and the slowest spans seen are pinned past eviction.
 type SpanRing struct {
-	mu   sync.Mutex
-	buf  []Span
-	next int
-	full bool
+	mu      sync.Mutex
+	buf     []Span
+	next    int
+	full    bool
+	notable []Span // top-K by (has-error, duration); survives FIFO
 }
 
 // DefaultSpanCap is the per-station span ring size: enough for several
@@ -89,10 +93,35 @@ func NewSpanRing(capacity int) *SpanRing {
 	if capacity <= 0 {
 		capacity = DefaultSpanCap
 	}
-	return &SpanRing{buf: make([]Span, capacity)}
+	notableCap := capacity / 64
+	if notableCap < 16 {
+		notableCap = 16
+	}
+	return &SpanRing{
+		buf:     make([]Span, capacity),
+		notable: make([]Span, 0, notableCap),
+	}
 }
 
-// Add records a completed span, evicting the oldest when full.
+// notableFloor is the duration above which a successful span competes
+// for a reservoir slot. Fabric RPCs complete in well under a
+// millisecond on a healthy station, so anything past the floor is
+// evidence worth keeping; failed spans qualify at any duration.
+const notableFloor = 10 * time.Millisecond
+
+// outranks reports whether a deserves a reservoir slot over b: errors
+// before successes, then the longer duration.
+func outranks(a, b *Span) bool {
+	if (a.Err != "") != (b.Err != "") {
+		return a.Err != ""
+	}
+	return a.Duration > b.Duration
+}
+
+// Add records a completed span, evicting the oldest when full. Slow
+// and failed spans also compete for a reservoir slot, displacing the
+// weakest holder, so the one interesting span stays inspectable
+// through any flood of fast ones; routine spans ride the FIFO only.
 func (r *SpanRing) Add(sp Span) {
 	r.mu.Lock()
 	r.buf[r.next] = sp
@@ -101,10 +130,26 @@ func (r *SpanRing) Add(sp Span) {
 		r.next = 0
 		r.full = true
 	}
+	if sp.Err != "" || sp.Duration >= notableFloor {
+		if len(r.notable) < cap(r.notable) {
+			r.notable = append(r.notable, sp)
+		} else if len(r.notable) > 0 {
+			weakest := 0
+			for i := range r.notable {
+				if outranks(&r.notable[weakest], &r.notable[i]) {
+					weakest = i
+				}
+			}
+			if outranks(&sp, &r.notable[weakest]) {
+				r.notable[weakest] = sp
+			}
+		}
+	}
 	r.mu.Unlock()
 }
 
-// Snapshot returns every retained span, oldest first.
+// Snapshot returns every retained span — ring plus reservoir, deduped
+// by span ID — oldest first.
 func (r *SpanRing) Snapshot() []Span {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -113,6 +158,22 @@ func (r *SpanRing) Snapshot() []Span {
 		out = append(out, r.buf[r.next:]...)
 	}
 	out = append(out, r.buf[:r.next]...)
+	if len(r.notable) > 0 {
+		seen := make(map[uint64]bool, len(out))
+		for i := range out {
+			seen[out[i].SpanID] = true
+		}
+		merged := false
+		for _, sp := range r.notable {
+			if !seen[sp.SpanID] {
+				out = append(out, sp)
+				merged = true
+			}
+		}
+		if merged {
+			SortSpans(out)
+		}
+	}
 	return out
 }
 

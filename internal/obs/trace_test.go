@@ -113,6 +113,69 @@ func TestRecentSpansNewestFirst(t *testing.T) {
 	}
 }
 
+// TestNotableSpansSurviveFlood pins the reservoir fix for FIFO
+// eviction loss: one slow span and one failed span must remain
+// inspectable after thousands of fast spans wash through a small ring,
+// while routine spans still fall off the back.
+func TestNotableSpansSurviveFlood(t *testing.T) {
+	r := NewSpanRing(32)
+	slow := Span{TraceID: 1, SpanID: 1000, Method: "Fabric.Push", Duration: 250 * time.Millisecond}
+	failed := Span{TraceID: 2, SpanID: 2000, Method: "Fabric.Search", Err: "deadline exceeded"}
+	r.Add(slow)
+	r.Add(failed)
+	for i := 0; i < 5000; i++ {
+		r.Add(Span{TraceID: 3, SpanID: uint64(10000 + i), Duration: 50 * time.Microsecond})
+	}
+	if got := r.ForTrace(1); len(got) != 1 || got[0].SpanID != slow.SpanID {
+		t.Fatalf("slow span lost to the flood: ForTrace(1) = %+v", got)
+	}
+	if got := r.ForTrace(2); len(got) != 1 || got[0].Err == "" {
+		t.Fatalf("failed span lost to the flood: ForTrace(2) = %+v", got)
+	}
+	// The reservoir must not duplicate spans still in the ring.
+	recent := Span{TraceID: 4, SpanID: 3000, Duration: 500 * time.Millisecond}
+	r.Add(recent)
+	if got := r.ForTrace(4); len(got) != 1 {
+		t.Fatalf("in-ring notable span reported %d times, want 1", len(got))
+	}
+	// Routine spans still age out: the flood's early spans are gone.
+	if got := r.ForTrace(3); len(got) > 32 {
+		t.Fatalf("%d routine spans retained, want at most the ring size", len(got))
+	}
+}
+
+// TestReservoirPrefersWorstSpans: with the reservoir full, a slower
+// span displaces the quickest holder, and errors are never displaced
+// by mere slowness.
+func TestReservoirPrefersWorstSpans(t *testing.T) {
+	r := NewSpanRing(1) // minimum ring, reservoir cap 16
+	for i := 0; i < 16; i++ {
+		r.Add(Span{SpanID: uint64(100 + i), Duration: notableFloor + time.Duration(i)*time.Millisecond})
+	}
+	// Much slower than every holder: must displace one.
+	r.Add(Span{SpanID: 9999, Duration: 10 * time.Second})
+	found := false
+	for _, sp := range r.Snapshot() {
+		if sp.SpanID == 9999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("slowest span did not win a reservoir slot")
+	}
+	// An error span beats any duration.
+	r.Add(Span{SpanID: 8888, Err: "boom"})
+	found = false
+	for _, sp := range r.Snapshot() {
+		if sp.SpanID == 8888 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("failed span did not win a reservoir slot")
+	}
+}
+
 func TestEventFormat(t *testing.T) {
 	line := Event("graft", "parent", 2, "child", 5, "err", "dial tcp: connection refused")
 	if !strings.HasPrefix(line, "event=graft parent=2 child=5 err=") {

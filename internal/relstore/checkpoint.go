@@ -2,6 +2,7 @@ package relstore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -11,16 +12,20 @@ import (
 	"sort"
 
 	"repro/internal/atomicio"
+	"repro/internal/wire"
 )
 
 // Generation-numbered checkpoints and log compaction.
 //
 // A durability directory holds, per generation g:
 //
-//	snap-<g>   a consistent image of the whole database (gob), written
-//	           temp-then-rename so it is either absent or complete
-//	wal-<g>    the JSON write-ahead log tail: every transaction
-//	           committed after checkpoint g and before g+1
+//	snap-<g>   a consistent image of the whole database (a CRC-sealed
+//	           binary image, see snapbin.go; pre-overhaul gob images
+//	           still load), written temp-then-rename so it is either
+//	           absent or complete
+//	wal-<g>    the write-ahead log tail: every transaction committed
+//	           after checkpoint g and before g+1, as CRC-framed binary
+//	           records (legacy JSON lines still replay)
 //
 // Checkpoint(dir) captures the image and atomically rotates the
 // attached WAL inside one write-quiescent window, so the snapshot and
@@ -157,15 +162,28 @@ func HasCheckpoint(dir string) bool {
 	return err == nil && len(snaps) > 0
 }
 
-// readSnapshotFile decodes one snap-<gen> file.
+// readSnapshotFile decodes one snap-<gen> file, sniffing the first
+// byte to pick the binary or the legacy gob decode — a pre-overhaul
+// snapshot loads one last time and the next checkpoint rewrites it in
+// the binary format.
 func readSnapshotFile(path string) (*ckptImage, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	if wire.IsImage(wire.SnapMagic, data) {
+		payload, err := wire.OpenImage(wire.SnapMagic, data)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: decoding %s: %w", filepath.Base(path), err)
+		}
+		img, err := decodeCkptImage(payload)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: decoding %s: %w", filepath.Base(path), err)
+		}
+		return img, nil
+	}
 	var img ckptImage
-	if err := gob.NewDecoder(bufio.NewReaderSize(f, 1<<20)).Decode(&img); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
 		return nil, fmt.Errorf("relstore: decoding %s: %w", filepath.Base(path), err)
 	}
 	return &img, nil
@@ -319,13 +337,16 @@ func (db *DB) CheckpointWith(dir string, sidecar func(gen uint64) error) (*Check
 	// valid while writers fill the new tail. The rename is the commit
 	// point of the whole checkpoint.
 	img := ckptImage{Gen: gen, Seq: seq, Snap: snap}
+	payload, err := appendCkptImage(wire.GetBuf(), &img)
+	if err != nil {
+		return nil, err
+	}
+	sealed := wire.SealImage(wire.SnapMagic, payload)
+	wire.PutBuf(payload)
 	path := filepath.Join(dir, snapFileName(gen))
 	if err := atomicio.WriteFile(path, func(w io.Writer) error {
-		bw := bufio.NewWriterSize(w, 1<<20)
-		if err := gob.NewEncoder(bw).Encode(&img); err != nil {
-			return err
-		}
-		return bw.Flush()
+		_, err := w.Write(sealed)
+		return err
 	}); err != nil {
 		return nil, err
 	}

@@ -1,7 +1,7 @@
 package relstore
 
 import (
-	"encoding/json"
+	"bufio"
 	"errors"
 	"fmt"
 	"os"
@@ -55,13 +55,14 @@ func walSeqs(t *testing.T, path string) []uint64 {
 	}
 	defer f.Close()
 	var seqs []uint64
-	dec := json.NewDecoder(f)
-	for dec.More() {
-		var line struct {
-			Seq uint64 `json:"seq"`
-		}
-		if err := dec.Decode(&line); err != nil {
+	br := bufio.NewReader(f)
+	for {
+		line, done, err := readWalLine(br)
+		if err != nil {
 			t.Fatal(err)
+		}
+		if done {
+			break
 		}
 		seqs = append(seqs, line.Seq)
 	}

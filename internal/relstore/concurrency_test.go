@@ -393,14 +393,20 @@ func TestBatchSingleWALAppend(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	lines := 0
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	for sc.Scan() {
-		lines++
+	records := 0
+	br := bufio.NewReader(f)
+	for {
+		_, done, err := readWalLine(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		records++
 	}
-	if lines != 1 {
-		t.Errorf("WAL lines = %d for one batch, want 1", lines)
+	if records != 1 {
+		t.Errorf("WAL records = %d for one batch, want 1", records)
 	}
 
 	// And the single line replays back to the full table.

@@ -1,0 +1,57 @@
+package relstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+)
+
+// Test-only bridges for building pre-overhaul (gob + JSON) durability
+// directories from live state. Compiled into test binaries only; the
+// external relstore_test package uses them for the full-stack
+// legacy-recovery test.
+
+// EncodeLegacyCkptForTest captures db and renders it as the gob
+// checkpoint image the pre-binary writer produced.
+func EncodeLegacyCkptForTest(db *DB, gen, seq uint64) ([]byte, error) {
+	db.metaMu.RLock()
+	names := db.lockAllTablesShared()
+	snap := db.captureLocked()
+	db.unlockAllTablesShared(names)
+	db.metaMu.RUnlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ckptImage{Gen: gen, Seq: seq, Snap: snap}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// TranscodeWALToLegacyJSONForTest rewrites a WAL (binary, JSON or
+// mixed) as the pure JSON-line format the pre-binary writer produced,
+// $b/$t value tagging included.
+func TranscodeWALToLegacyJSONForTest(raw []byte) ([]byte, error) {
+	br := bufio.NewReader(bytes.NewReader(raw))
+	var out []byte
+	for {
+		line, done, err := readWalLine(br)
+		if done {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs := make([]walRec, len(line.Recs))
+		for i, rec := range line.Recs {
+			rec.Row = walEncodeRow(rec.Row)
+			rec.PK = walEncodeValue(rec.PK)
+			recs[i] = rec
+		}
+		line.Recs = recs
+		b, err := json.Marshal(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(append(out, b...), '\n')
+	}
+}

@@ -1,0 +1,199 @@
+package relstore_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/docdb"
+	"repro/internal/relstore"
+)
+
+// legacyBlobEntry mirrors blob's unexported snapshotEntry: gob matches
+// fields by name, so this writes the exact sidecar the pre-binary
+// encoder produced.
+type legacyBlobEntry struct {
+	Hash     string
+	Kind     blob.Kind
+	Refcount int
+	Names    []string
+	Data     []byte
+}
+
+// TestStationRecoversPreOverhaulDataDir is the acceptance check for
+// the format overhaul: a station pointed at a data directory written
+// entirely in the pre-overhaul formats — gob snapshot, gob BLOB
+// sidecar, JSON-line WAL tail — must recover identical state through
+// the read-side fallbacks, then carry on appending in the new binary
+// format.
+func TestStationRecoversPreOverhaulDataDir(t *testing.T) {
+	// Stage 1: build canonical state with a live (new-format) station
+	// store: a course with a page and media, checkpointed, plus one
+	// post-checkpoint page that only reaches the WAL tail.
+	srcDir := t.TempDir()
+	src := openStore(t)
+	if _, err := src.Recover(srcDir); err != nil {
+		t.Fatal(err)
+	}
+	const url = "http://mmu/os-course"
+	seedLegacyCourse(t, src, url)
+	info, err := src.CheckpointNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture the legacy snapshot NOW — it must cut history exactly
+	// where the checkpoint did, before the tail-only write below.
+	snapBytes, err := relstore.EncodeLegacyCkptForTest(src.Rel(), info.Gen, info.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.PutHTML(url, "late.html", []byte("<html>tail page</html>")); err != nil {
+		t.Fatal(err)
+	}
+	wantIndex, err := src.HTML(url, "index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	media, err := src.ImplMedia(url)
+	if err != nil || len(media) == 0 {
+		t.Fatalf("media = %v err=%v", media, err)
+	}
+
+	// Stage 2: transcribe that state into a pre-overhaul directory.
+	legacyDir := t.TempDir()
+	writeLegacyFile(t, legacyDir, fmt.Sprintf("snap-%010d", info.Gen), snapBytes)
+
+	var entries []legacyBlobEntry
+	for _, ref := range src.Blobs().List() {
+		data, err := src.Blobs().Get(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, legacyBlobEntry{
+			Hash:     ref.Hash,
+			Kind:     ref.Kind,
+			Refcount: src.Blobs().RefCount(ref),
+			Names:    src.Blobs().Names(ref),
+			Data:     data,
+		})
+	}
+	var blobBuf bytes.Buffer
+	if err := gob.NewEncoder(&blobBuf).Encode(entries); err != nil {
+		t.Fatal(err)
+	}
+	writeLegacyFile(t, legacyDir, fmt.Sprintf("blobs-%010d", info.Gen), blobBuf.Bytes())
+
+	tailRaw, err := os.ReadFile(filepath.Join(srcDir, fmt.Sprintf("wal-%010d", info.Gen)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailJSON, err := relstore.TranscodeWALToLegacyJSONForTest(tailRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tailJSON) == 0 || tailJSON[0] != '{' {
+		t.Fatalf("transcoded tail is not JSON lines: %q", tailJSON[:min(len(tailJSON), 20)])
+	}
+	writeLegacyFile(t, legacyDir, fmt.Sprintf("wal-%010d", info.Gen), tailJSON)
+
+	// Stage 3: a fresh station recovers the legacy directory through
+	// the fallback readers.
+	st := openStore(t)
+	rec, err := st.Recover(legacyDir)
+	if err != nil {
+		t.Fatalf("recovery from pre-overhaul dir: %v", err)
+	}
+	if rec.Gen != info.Gen || rec.Applied == 0 {
+		t.Fatalf("recovery = %+v, want gen %d with a replayed tail", rec, info.Gen)
+	}
+	got, err := st.HTML(url, "index.html")
+	if err != nil || !bytes.Equal(got, wantIndex) {
+		t.Fatalf("checkpointed page differs after legacy recovery (err=%v)", err)
+	}
+	if _, err := st.HTML(url, "late.html"); err != nil {
+		t.Fatalf("JSON tail page lost: %v", err)
+	}
+	for _, m := range media {
+		if !st.Blobs().Has(m.Ref) {
+			t.Fatalf("BLOB %s lost across the gob sidecar fallback", m.Name)
+		}
+		want, _ := src.Blobs().Get(m.Ref)
+		data, err := st.Blobs().Get(m.Ref)
+		if err != nil || !bytes.Equal(data, want) {
+			t.Fatalf("BLOB %s bytes differ after legacy recovery (err=%v)", m.Name, err)
+		}
+	}
+
+	// Stage 4: the recovered station appends in the NEW format — the
+	// tail is now mixed JSON + binary — and the next restart replays it.
+	if err := st.PutHTML(url, "upgraded.html", []byte("<html>binary append</html>")); err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := os.ReadFile(filepath.Join(legacyDir, fmt.Sprintf("wal-%010d", info.Gen)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(mixed, []byte("{")) || bytes.Equal(mixed, tailJSON) {
+		t.Fatal("upgraded tail is not JSON-prefix + binary-suffix")
+	}
+	st2 := openStore(t)
+	if _, err := st2.Recover(legacyDir); err != nil {
+		t.Fatalf("recovery of the mixed tail: %v", err)
+	}
+	if _, err := st2.HTML(url, "upgraded.html"); err != nil {
+		t.Fatalf("binary append lost after mixed-tail recovery: %v", err)
+	}
+}
+
+func openStore(t *testing.T) *docdb.Store {
+	t.Helper()
+	s, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Now = func() time.Time { return time.Date(1999, 4, 21, 9, 0, 0, 0, time.UTC) }
+	return s
+}
+
+func seedLegacyCourse(t *testing.T, s *docdb.Store, url string) {
+	t.Helper()
+	if err := s.CreateDatabase(docdb.Database{Name: "mmu"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateScript(docdb.Script{
+		Name: "os-course", DBName: "mmu", Author: "Shih",
+		Description: "lecture notes", Keywords: []string{"os"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddImplementation(docdb.Implementation{
+		StartingURL: url, ScriptName: "os-course", Author: "Shih",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutHTML(url, "index.html", []byte("<html>virtual memory</html>")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AttachImplMedia(url, "fig1.gif", blob.KindImage, bytes.Repeat([]byte{0xA5, 0x01}, 512)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeLegacyFile(t *testing.T, dir, name string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -2,15 +2,17 @@ package relstore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/base64"
 	"encoding/gob"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/wire"
 )
 
 func init() {
@@ -25,18 +27,27 @@ type snapshot struct {
 	Ordered map[string][]string
 }
 
-// Snapshot writes a point-in-time image of the database. The capture
-// holds every table's read lock, so it is consistent across tables;
-// the encode itself runs after the locks are released, which is safe
-// because stored rows are immutable — every mutation installs a fresh
-// Row map (see Tx.Update) rather than editing one in place.
+// Snapshot writes a point-in-time image of the database as a
+// CRC-sealed binary image. The capture holds every table's read lock,
+// so it is consistent across tables; the encode itself runs after the
+// locks are released, which is safe because stored rows are immutable
+// — every mutation installs a fresh Row map (see Tx.Update) rather
+// than editing one in place.
 func (db *DB) Snapshot(w io.Writer) error {
 	db.metaMu.RLock()
 	names := db.lockAllTablesShared()
 	snap := db.captureLocked()
 	db.unlockAllTablesShared(names)
 	db.metaMu.RUnlock()
-	return gob.NewEncoder(w).Encode(&snap)
+	img := ckptImage{Snap: snap}
+	payload, err := appendCkptImage(wire.GetBuf(), &img)
+	if err != nil {
+		return err
+	}
+	sealed := wire.SealImage(wire.SnapMagic, payload)
+	wire.PutBuf(payload)
+	_, err = w.Write(sealed)
+	return err
 }
 
 // lockAllTablesShared read-locks every table in sorted order and
@@ -85,10 +96,27 @@ func (db *DB) captureLocked() snapshot {
 }
 
 // Restore replaces the database contents with a snapshot previously
-// written by Snapshot.
+// written by Snapshot — the binary image or, one last time, the
+// legacy gob encoding (a gob stream's first byte can never be
+// SnapMagic, so one byte decides).
 func (db *DB) Restore(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("relstore: reading snapshot: %w", err)
+	}
+	if wire.IsImage(wire.SnapMagic, data) {
+		payload, err := wire.OpenImage(wire.SnapMagic, data)
+		if err != nil {
+			return fmt.Errorf("relstore: decoding snapshot: %w", err)
+		}
+		img, err := decodeCkptImage(payload)
+		if err != nil {
+			return fmt.Errorf("relstore: decoding snapshot: %w", err)
+		}
+		return db.installSnapshot(&img.Snap)
+	}
 	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return fmt.Errorf("relstore: decoding snapshot: %w", err)
 	}
 	return db.installSnapshot(&snap)
@@ -154,10 +182,13 @@ func sortStrings(s []string) {
 	}
 }
 
-// WAL is a JSON-lines write-ahead log of committed transactions. Each
-// committed transaction appends one record carrying its redo entries
-// and a commit marker; Replay applies only fully committed
-// transactions, so a crash mid-append never replays a torn one.
+// WAL is a write-ahead log of committed transactions. Each committed
+// transaction appends one CRC-framed binary record (see walbin.go)
+// carrying its redo entries and a commit marker; Replay applies only
+// fully committed transactions, so a crash mid-append never replays a
+// torn one. Logs written by the pre-binary format — JSON lines — are
+// still replayed through a per-record sniff, so one file may hold a
+// legacy prefix with binary records appended after an upgrade.
 type WAL struct {
 	mu    sync.Mutex
 	w     *bufio.Writer
@@ -323,24 +354,28 @@ func walDecodeRow(r Row) (Row, error) {
 	return out, nil
 }
 
-// append writes one committed transaction to the log.
+// append writes one committed transaction to the log as a CRC-framed
+// binary record. Row values are encoded natively by the wire codec —
+// a document body goes to disk as its raw bytes, never through JSON.
+// Both scratch buffers are pooled, so steady-state appends allocate
+// only what the bufio writer flushes.
 func (w *WAL) append(recs []walRec) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.seq++
-	encoded := make([]walRec, len(recs))
-	for i, rec := range recs {
-		encoded[i] = rec
-		encoded[i].Row = walEncodeRow(rec.Row)
-		encoded[i].PK = walEncodeValue(rec.PK)
-	}
-	line := walLine{Seq: w.seq, Commit: true, Recs: encoded}
-	b, err := json.Marshal(&line)
+	line := walLine{Seq: w.seq, Commit: true, Recs: recs}
+	payload := wire.GetBuf()
+	payload, err := appendWalLine(payload, &line)
 	if err != nil {
-		return fmt.Errorf("relstore: encoding WAL record: %w", err)
+		wire.PutBuf(payload)
+		return err
 	}
-	n, err := w.w.Write(append(b, '\n'))
+	framed := wire.GetBuf()
+	framed = wire.AppendRecord(framed, payload)
+	wire.PutBuf(payload)
+	n, err := w.w.Write(framed)
 	w.bytes += int64(n)
+	wire.PutBuf(framed)
 	if err != nil {
 		return err
 	}
@@ -350,28 +385,23 @@ func (w *WAL) append(recs []walRec) error {
 // ReplayWAL applies a write-ahead log produced by a previous process
 // to the database and reports the committed transactions applied plus
 // the high-water sequence number observed (which OpenWAL resumes
-// from). Values are re-coerced against the live schema because JSON
-// erases Go types. Unknown tables fail the replay.
+// from). Unknown tables fail the replay.
 //
-// Records are decoded with a json.Decoder, so a single committed
-// transaction — a big ImportBundle batch, say — may be arbitrarily
-// large (the old line scanner refused anything past 64 MiB with
-// bufio.ErrTooLong). A truncated final record is tolerated as the torn
-// tail a crash mid-append leaves behind; garbage that is not a prefix
-// of a valid record still fails the replay.
+// Each record is sniffed by its first byte: wire.RecordMagic selects
+// the CRC-verified binary decode, '{' the legacy JSON-line decode
+// (a gob segment or a binary record can never start with '{', and a
+// JSON line can never start with 0xB9, so the sniff is unambiguous).
+// One file may mix both — a legacy prefix with binary appends after an
+// upgrade. A truncated final record is tolerated as the torn tail a
+// crash mid-append leaves behind; a complete record that fails its CRC
+// or parse still fails the replay.
 func (db *DB) ReplayWAL(r io.Reader) (applied int, maxSeq uint64, err error) {
 	defer func() { db.noteReplaySeq(maxSeq) }()
-	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
+	br := bufio.NewReaderSize(r, 1<<20)
 	for {
-		var line walLine
-		if err := dec.Decode(&line); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				// Every prefix of a valid record truncates to an
-				// unexpected EOF, never to a syntax error, so this is
-				// exactly the torn-tail case.
-				return applied, maxSeq, nil
-			}
-			return applied, maxSeq, fmt.Errorf("relstore: corrupt WAL line: %w", err)
+		line, done, err := readWalLine(br)
+		if done || err != nil {
+			return applied, maxSeq, err
 		}
 		if line.Seq > maxSeq {
 			maxSeq = line.Seq
@@ -401,6 +431,50 @@ func (db *DB) ReplayWAL(r io.Reader) (applied int, maxSeq uint64, err error) {
 			return applied, maxSeq, err
 		}
 		applied++
+	}
+}
+
+// readWalLine reads the next committed-transaction record in either
+// format. done reports a clean or torn end of log.
+func readWalLine(br *bufio.Reader) (line walLine, done bool, err error) {
+	first, err := br.Peek(1)
+	if err != nil {
+		// A partial read at the very first byte can only be EOF from a
+		// bufio.Reader over a file.
+		return line, true, nil
+	}
+	switch {
+	case first[0] == wire.RecordMagic:
+		payload, err := wire.ReadRecord(br, 0)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return line, true, nil // torn binary tail
+		}
+		if err != nil {
+			return line, false, fmt.Errorf("relstore: corrupt WAL record: %w", err)
+		}
+		line, err = decodeWalLine(payload)
+		return line, false, err
+	case first[0] == '{':
+		// Legacy JSON line. json.Marshal never emits a raw newline, so
+		// the line boundary is reliable.
+		raw, rerr := br.ReadBytes('\n')
+		if jerr := json.Unmarshal(raw, &line); jerr != nil {
+			if rerr != nil {
+				return line, true, nil // torn legacy tail: no newline, no parse
+			}
+			return line, false, fmt.Errorf("relstore: corrupt WAL line: %w", jerr)
+		}
+		for i := range line.Recs {
+			if line.Recs[i].Row, err = walDecodeRow(line.Recs[i].Row); err != nil {
+				return line, false, err
+			}
+			if line.Recs[i].PK, err = walDecodeValue(line.Recs[i].PK); err != nil {
+				return line, false, err
+			}
+		}
+		return line, false, nil
+	default:
+		return line, false, fmt.Errorf("relstore: corrupt WAL: unrecognized record byte 0x%02x", first[0])
 	}
 }
 
@@ -436,27 +510,22 @@ func (db *DB) applyDDL(rec walRec) error {
 	}
 }
 
+// applyRecs re-executes a committed transaction's redo records. Rows
+// arrive with native value types — readWalLine already unwrapped the
+// legacy JSON tagging, and the binary codec never erases types.
 func applyRecs(tx *Tx, recs []walRec) error {
 	for _, rec := range recs {
-		row, err := walDecodeRow(rec.Row)
-		if err != nil {
-			return err
-		}
-		pk, err := walDecodeValue(rec.PK)
-		if err != nil {
-			return err
-		}
 		switch rec.Op {
 		case "insert":
-			if err := tx.Insert(rec.Table, row); err != nil {
+			if err := tx.Insert(rec.Table, rec.Row); err != nil {
 				return err
 			}
 		case "update":
-			if err := tx.Update(rec.Table, pk, row); err != nil {
+			if err := tx.Update(rec.Table, rec.PK, rec.Row); err != nil {
 				return err
 			}
 		case "delete":
-			if err := tx.Delete(rec.Table, pk); err != nil {
+			if err := tx.Delete(rec.Table, rec.PK); err != nil {
 				return err
 			}
 		default:

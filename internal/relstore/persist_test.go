@@ -1,8 +1,8 @@
 package relstore
 
 import (
+	"bufio"
 	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -401,18 +401,20 @@ func TestReopenedWALResumesSeq(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	br := bufio.NewReader(bytes.NewReader(raw))
 	var prev uint64
-	for _, line := range bytes.Split(bytes.TrimRight(raw, "\n"), []byte("\n")) {
-		var rec struct {
-			Seq uint64 `json:"seq"`
-		}
-		if err := json.Unmarshal(line, &rec); err != nil {
+	for {
+		line, done, err := readWalLine(br)
+		if err != nil {
 			t.Fatal(err)
 		}
-		if rec.Seq <= prev {
-			t.Fatalf("seq %d after %d: reopened WAL does not continue monotonically", rec.Seq, prev)
+		if done {
+			break
 		}
-		prev = rec.Seq
+		if line.Seq <= prev {
+			t.Fatalf("seq %d after %d: reopened WAL does not continue monotonically", line.Seq, prev)
+		}
+		prev = line.Seq
 	}
 	if prev != 6 {
 		t.Errorf("final seq = %d, want 6", prev)

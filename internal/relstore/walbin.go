@@ -1,0 +1,182 @@
+package relstore
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Binary WAL record payload. A committed transaction frames one of
+// these through wire.AppendRecord:
+//
+//	[uvarint Seq][flags][uvarint nrecs]
+//	  per rec: [op][table string][PK value]
+//	           [row? nrow {name string, value}...]
+//	           [ddl? {name, key, cols{name, type, notnull}, fks{col, ref}}]
+//
+// Values use the wire tagged-value codec, so a document body is its
+// raw bytes on disk — never a base64 blowup inside a JSON object, and
+// never touched by reflection on replay.
+
+const walFlagCommit = 1 << 0
+
+// WAL op codes. The string names survive in walRec for the legacy JSON
+// decode path; on the wire an op is one byte.
+const (
+	walOpInsert = 1
+	walOpUpdate = 2
+	walOpDelete = 3
+	walOpCreate = 4
+	walOpDrop   = 5
+)
+
+var walOpCode = map[string]byte{
+	"insert": walOpInsert,
+	"update": walOpUpdate,
+	"delete": walOpDelete,
+	"create": walOpCreate,
+	"drop":   walOpDrop,
+}
+
+var walOpName = map[byte]string{
+	walOpInsert: "insert",
+	walOpUpdate: "update",
+	walOpDelete: "delete",
+	walOpCreate: "create",
+	walOpDrop:   "drop",
+}
+
+// appendWalLine encodes one committed transaction after dst.
+func appendWalLine(dst []byte, line *walLine) ([]byte, error) {
+	dst = wire.AppendUvarint(dst, line.Seq)
+	var flags byte
+	if line.Commit {
+		flags |= walFlagCommit
+	}
+	dst = append(dst, flags)
+	dst = wire.AppendUvarint(dst, uint64(len(line.Recs)))
+	for _, rec := range line.Recs {
+		op, ok := walOpCode[rec.Op]
+		if !ok {
+			return nil, fmt.Errorf("relstore: unknown WAL op %q", rec.Op)
+		}
+		dst = append(dst, op)
+		dst = wire.AppendString(dst, rec.Table)
+		var err error
+		if dst, err = wire.AppendValue(dst, rec.PK); err != nil {
+			return nil, fmt.Errorf("relstore: WAL %s PK: %w", rec.Table, err)
+		}
+		if rec.Row == nil {
+			dst = append(dst, 0)
+		} else {
+			dst = append(dst, 1)
+			dst = wire.AppendUvarint(dst, uint64(len(rec.Row)))
+			// Sorted column order keeps the encoding deterministic, so
+			// identical transactions produce identical bytes.
+			cols := make([]string, 0, len(rec.Row))
+			for k := range rec.Row {
+				cols = append(cols, k)
+			}
+			sortStrings(cols)
+			for _, k := range cols {
+				dst = wire.AppendString(dst, k)
+				if dst, err = wire.AppendValue(dst, rec.Row[k]); err != nil {
+					return nil, fmt.Errorf("relstore: WAL %s.%s: %w", rec.Table, k, err)
+				}
+			}
+		}
+		if rec.DDL == nil {
+			dst = append(dst, 0)
+		} else {
+			dst = append(dst, 1)
+			dst = appendSchema(dst, rec.DDL)
+		}
+	}
+	return dst, nil
+}
+
+// decodeWalLine reverses appendWalLine.
+func decodeWalLine(payload []byte) (walLine, error) {
+	r := wire.NewReader(payload)
+	line := walLine{Seq: r.Uvarint()}
+	line.Commit = r.Byte()&walFlagCommit != 0
+	n := int(r.Uvarint())
+	if r.Err() == nil && n > r.Len() {
+		// Each record costs several bytes; a count past the remaining
+		// payload is structural corruption, caught before allocating.
+		return line, fmt.Errorf("relstore: corrupt WAL record: %d recs in %d bytes", n, r.Len())
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		var rec walRec
+		op := r.Byte()
+		rec.Op = walOpName[op]
+		if rec.Op == "" && r.Err() == nil {
+			return line, fmt.Errorf("relstore: corrupt WAL record: op byte %d", op)
+		}
+		rec.Table = r.String()
+		rec.PK = r.Value()
+		if r.Byte() == 1 {
+			ncol := int(r.Uvarint())
+			if r.Err() == nil && ncol > r.Len() {
+				return line, fmt.Errorf("relstore: corrupt WAL record: %d columns in %d bytes", ncol, r.Len())
+			}
+			rec.Row = make(Row, ncol)
+			for j := 0; j < ncol && r.Err() == nil; j++ {
+				rec.Row[r.String()] = r.Value()
+			}
+		}
+		if r.Byte() == 1 {
+			s := readSchema(r)
+			rec.DDL = &s
+		}
+		line.Recs = append(line.Recs, rec)
+	}
+	if r.Err() != nil {
+		return line, fmt.Errorf("relstore: corrupt WAL record: %w", r.Err())
+	}
+	if r.Len() != 0 {
+		return line, fmt.Errorf("relstore: corrupt WAL record: %d trailing bytes", r.Len())
+	}
+	return line, nil
+}
+
+func appendSchema(dst []byte, s *Schema) []byte {
+	dst = wire.AppendString(dst, s.Name)
+	dst = wire.AppendString(dst, s.Key)
+	dst = wire.AppendUvarint(dst, uint64(len(s.Columns)))
+	for _, c := range s.Columns {
+		dst = wire.AppendString(dst, c.Name)
+		dst = wire.AppendUvarint(dst, uint64(c.Type))
+		if c.NotNull {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(s.ForeignKeys)))
+	for _, fk := range s.ForeignKeys {
+		dst = wire.AppendString(dst, fk.Column)
+		dst = wire.AppendString(dst, fk.RefTable)
+	}
+	return dst
+}
+
+func readSchema(r *wire.Reader) Schema {
+	s := Schema{Name: r.String(), Key: r.String()}
+	ncol := int(r.Uvarint())
+	for i := 0; i < ncol && r.Err() == nil; i++ {
+		s.Columns = append(s.Columns, Column{
+			Name:    r.String(),
+			Type:    ColType(r.Uvarint()),
+			NotNull: r.Byte() == 1,
+		})
+	}
+	nfk := int(r.Uvarint())
+	for i := 0; i < nfk && r.Err() == nil; i++ {
+		s.ForeignKeys = append(s.ForeignKeys, ForeignKey{
+			Column:   r.String(),
+			RefTable: r.String(),
+		})
+	}
+	return s
+}

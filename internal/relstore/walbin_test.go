@@ -1,0 +1,335 @@
+package relstore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestBinaryWALCrashMatrix truncates a binary WAL at EVERY byte offset
+// — record boundaries, mid-payload, mid-length, mid-CRC — and demands
+// each prefix replay exactly the committed transactions it fully
+// contains, never an error and never a partial transaction.
+func TestBinaryWALCrashMatrix(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "db.wal")
+	db := NewDB()
+	if err := db.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := courseSchemas()
+	if err := db.CreateTable(s); err != nil {
+		t.Fatal(err)
+	}
+	// Record boundaries: the file size after each append (appends flush).
+	boundaries := []int64{fileSize(t, walPath)}
+	created := time.Date(1999, 4, 21, 9, 30, 0, 12345, time.UTC)
+	const rows = 6
+	for i := 0; i < rows; i++ {
+		row := Row{
+			"script_name": fmt.Sprintf("r%d", i),
+			"author":      string([]byte{'a', 0x0A, byte(i)}), // embedded newline
+			"version":     int64(i),
+			"created":     created.Add(time.Duration(i) * time.Second),
+			"archived":    i%2 == 0,
+		}
+		if err := db.Insert("scripts", row); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, fileSize(t, walPath))
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(raw)) != boundaries[len(boundaries)-1] {
+		t.Fatalf("file is %d bytes, last boundary %d", len(raw), boundaries[len(boundaries)-1])
+	}
+
+	for cut := 0; cut <= len(raw); cut++ {
+		wantApplied := 0
+		for _, b := range boundaries {
+			if int64(cut) >= b {
+				wantApplied++
+			}
+		}
+		db2 := NewDB()
+		applied, maxSeq, err := db2.ReplayWAL(bytes.NewReader(raw[:cut]))
+		if err != nil {
+			t.Fatalf("cut=%d: replay error: %v", cut, err)
+		}
+		if applied != wantApplied {
+			t.Fatalf("cut=%d: applied = %d, want %d", cut, applied, wantApplied)
+		}
+		if maxSeq != uint64(wantApplied) {
+			t.Fatalf("cut=%d: maxSeq = %d, want %d", cut, maxSeq, wantApplied)
+		}
+		// The committed prefix is exactly present: DDL is record 1,
+		// insert k is record k+1.
+		for i := 0; i < rows; i++ {
+			want := wantApplied >= i+2
+			if got := wantApplied >= 1 && db2.Exists("scripts", fmt.Sprintf("r%d", i)); got != want {
+				t.Fatalf("cut=%d: row r%d present=%v, want %v", cut, i, got, want)
+			}
+		}
+	}
+
+	// One full-file replay round-trips the native value types exactly.
+	db3 := NewDB()
+	if _, _, err := db3.ReplayWAL(bytes.NewReader(raw)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db3.Get("scripts", "r3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["created"].(time.Time).Equal(created.Add(3*time.Second)) ||
+		got["version"] != int64(3) || got["archived"] != false ||
+		got["author"].(string) != string([]byte{'a', 0x0A, 3}) {
+		t.Fatalf("replayed row = %+v", got)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// legacyWalJSON renders one committed transaction the way the
+// pre-binary WAL writer did: a JSON line with []byte and time.Time
+// values wrapped in $b/$t tagged objects.
+func legacyWalJSON(t *testing.T, seq uint64, recs []walRec) []byte {
+	t.Helper()
+	enc := make([]walRec, len(recs))
+	for i, rec := range recs {
+		rec.Row = walEncodeRow(rec.Row)
+		rec.PK = walEncodeValue(rec.PK)
+		enc[i] = rec
+	}
+	buf, err := json.Marshal(walLine{Seq: seq, Commit: true, Recs: enc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(buf, '\n')
+}
+
+// TestMixedLegacyAndBinaryWAL replays the file an upgraded station
+// leaves behind: a legacy JSON prefix with binary records appended
+// after the new writer took over. Both halves must apply, tagged
+// values must decode to their native types, and the sequence numbers
+// must keep climbing across the format switch.
+func TestMixedLegacyAndBinaryWAL(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "db.wal")
+	s, impls := courseSchemas()
+	created := time.Date(1998, 11, 3, 14, 0, 0, 0, time.UTC)
+
+	// The legacy prefix: DDL for both tables, one insert carrying a
+	// tagged time, one carrying tagged bytes.
+	var legacy []byte
+	legacy = append(legacy, legacyWalJSON(t, 1, []walRec{{Op: "create", Table: s.Name, DDL: &s}})...)
+	legacy = append(legacy, legacyWalJSON(t, 2, []walRec{{Op: "create", Table: impls.Name, DDL: &impls}})...)
+	legacy = append(legacy, legacyWalJSON(t, 3, []walRec{
+		{Op: "insert", Table: "scripts", Row: Row{"script_name": "old", "created": created}},
+	})...)
+	legacy = append(legacy, legacyWalJSON(t, 4, []walRec{
+		{Op: "insert", Table: "impls", Row: Row{"starting_url": "u1", "script_name": "old", "payload": []byte{9, 8, 7}}},
+	})...)
+	if err := os.WriteFile(walPath, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The upgraded process: replay the legacy log, attach, append in the
+	// binary format.
+	db := NewDB()
+	f, err := os.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.ReplayWAL(f); err != nil {
+		f.Close()
+		t.Fatalf("legacy replay: %v", err)
+	}
+	f.Close()
+	if err := db.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("scripts", Row{"script_name": "new", "created": created.Add(time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update("impls", "u1", Row{"starting_url": "u1", "script_name": "new", "payload": []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process replays the mixed file end to end.
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte("{")) || !bytes.Contains(raw, []byte{wire.RecordMagic}) {
+		t.Fatal("test premise broken: file is not legacy-prefix + binary-suffix")
+	}
+	db2 := NewDB()
+	applied, maxSeq, err := db2.ReplayWAL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("mixed replay: %v", err)
+	}
+	if applied != 6 || maxSeq != 6 {
+		t.Fatalf("applied=%d maxSeq=%d, want 6/6", applied, maxSeq)
+	}
+	old, err := db2.Get("scripts", "old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !old["created"].(time.Time).Equal(created) {
+		t.Fatalf("legacy $t value decoded to %v", old["created"])
+	}
+	impl, err := db2.Get("impls", "u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := impl["payload"].([]byte); len(b) != 1 || b[0] != 1 {
+		t.Fatalf("payload after mixed replay = %v", b)
+	}
+	if impl["script_name"].(string) != "new" {
+		t.Fatalf("binary update lost: %+v", impl)
+	}
+}
+
+// TestLegacyGobSnapshotRestores: Restore must still load a snapshot
+// written by the pre-binary gob encoder, bit-identically.
+func TestLegacyGobSnapshotRestores(t *testing.T) {
+	db := newCourseDB(t)
+	created := time.Date(1999, 4, 21, 10, 0, 0, 0, time.UTC)
+	if err := db.Insert("scripts", Row{"script_name": "s", "created": created, "version": int64(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("impls", Row{"starting_url": "u", "script_name": "s", "payload": []byte{4, 5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	db.metaMu.RLock()
+	names := db.lockAllTablesShared()
+	snap := db.captureLocked()
+	db.unlockAllTablesShared(names)
+	db.metaMu.RUnlock()
+
+	// The legacy writer: a bare gob stream of the snapshot value.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewDB()
+	if err := db2.Restore(&buf); err != nil {
+		t.Fatalf("legacy gob snapshot rejected: %v", err)
+	}
+	got, err := db2.Get("scripts", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["created"].(time.Time).Equal(created) || got["version"] != int64(7) {
+		t.Fatalf("restored row = %+v", got)
+	}
+	impl, err := db2.Get("impls", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := impl["payload"].([]byte); !bytes.Equal(b, []byte{4, 5, 6}) {
+		t.Fatalf("restored payload = %v", b)
+	}
+}
+
+// TestLegacyGobCheckpointLoads: a checkpoint snapshot file written by
+// the pre-binary gob encoder must still load through readSnapshotFile
+// (and thus OpenDurable), including its generation header.
+func TestLegacyGobCheckpointLoads(t *testing.T) {
+	db := newCourseDB(t)
+	if err := db.Insert("scripts", Row{"script_name": "legacy"}); err != nil {
+		t.Fatal(err)
+	}
+	db.metaMu.RLock()
+	names := db.lockAllTablesShared()
+	snap := db.captureLocked()
+	db.unlockAllTablesShared(names)
+	db.metaMu.RUnlock()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, snapFileName(3))
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ckptImage{Gen: 3, Seq: 41, Snap: snap}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	img, err := readSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("legacy gob checkpoint rejected: %v", err)
+	}
+	if img.Gen != 3 || img.Seq != 41 {
+		t.Fatalf("header = gen %d seq %d, want 3/41", img.Gen, img.Seq)
+	}
+	db2 := NewDB()
+	if err := db2.installSnapshot(&img.Snap); err != nil {
+		t.Fatal(err)
+	}
+	if !db2.Exists("scripts", "legacy") {
+		t.Fatal("legacy checkpoint row lost")
+	}
+}
+
+// TestBinaryWALNeverJSONEncodesBody pins the tentpole's perf claim: a
+// document body appended through the WAL lands on disk as its raw
+// bytes, not base64-inflated JSON.
+func TestBinaryWALNeverJSONEncodesBody(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "db.wal")
+	db := NewDB()
+	if err := db.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	s, impls := courseSchemas()
+	if err := db.CreateTable(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(impls); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("scripts", Row{"script_name": "s"}); err != nil {
+		t.Fatal(err)
+	}
+	body := bytes.Repeat([]byte{0xFF, 0x00, 0xA5}, 4096) // 12 KiB, not base64-friendly
+	if err := db.Insert("impls", Row{"starting_url": "u", "script_name": "s", "payload": body}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, body) {
+		t.Fatal("document body not stored as raw bytes")
+	}
+	// Raw body + framing must stay far below the ~4/3 base64 growth.
+	if max := int64(len(body)) + 2048; fileSize(t, walPath) > max {
+		t.Fatalf("WAL is %d bytes for a %d-byte body", fileSize(t, walPath), len(body))
+	}
+}

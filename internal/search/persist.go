@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 
 	"repro/internal/docdb"
 	"repro/internal/relstore"
 	"repro/internal/schema"
+	"repro/internal/wire"
 )
 
 // Checkpoint coupling and recovery. The index is a cache over the
@@ -18,7 +20,15 @@ import (
 // otherwise the index rebuilds from the tables, which is always
 // correct and costs one scan of the content rows.
 
-// sidecarImage is the gob payload of a search-<gen> sidecar.
+// sidecarImage is the payload of a search-<gen> sidecar. On disk it
+// is a binary image under wire.SearchMagic:
+//
+//	[uvarint ndocs] per doc:
+//	  [key string][kind string][url string][path string]
+//	  [uvarint ntokens tokens...]
+//
+// Pre-overhaul gob sidecars load one last time through the read
+// fallback.
 type sidecarImage struct {
 	Docs map[string]*doc
 }
@@ -29,7 +39,7 @@ type sidecarImage struct {
 // the captured token streams describe exactly the history cut of the
 // relational snapshot. Only a shallow map copy happens in the window
 // (documents are immutable once installed); the returned closure does
-// the gob encoding after the window closes, off the writers' path.
+// the encoding after the window closes, off the writers' path.
 func (ix *Index) CaptureCheckpoint() func() ([]byte, error) {
 	ix.mu.RLock()
 	docs := make(map[string]*doc, len(ix.docs))
@@ -38,12 +48,69 @@ func (ix *Index) CaptureCheckpoint() func() ([]byte, error) {
 	}
 	ix.mu.RUnlock()
 	return func() ([]byte, error) {
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(sidecarImage{Docs: docs}); err != nil {
-			return nil, fmt.Errorf("search: encoding sidecar: %w", err)
+		payload := wire.GetBuf()
+		payload = wire.AppendUvarint(payload, uint64(len(docs)))
+		keys := make([]string, 0, len(docs))
+		for k := range docs {
+			keys = append(keys, k)
 		}
-		return buf.Bytes(), nil
+		sort.Strings(keys)
+		for _, k := range keys {
+			d := docs[k]
+			payload = wire.AppendString(payload, k)
+			payload = wire.AppendString(payload, d.Kind)
+			payload = wire.AppendString(payload, d.URL)
+			payload = wire.AppendString(payload, d.Path)
+			payload = wire.AppendUvarint(payload, uint64(len(d.Tokens)))
+			for _, tok := range d.Tokens {
+				payload = wire.AppendString(payload, tok)
+			}
+		}
+		sealed := wire.SealImage(wire.SearchMagic, payload)
+		wire.PutBuf(payload)
+		return sealed, nil
 	}
+}
+
+// decodeSidecar parses either sidecar format.
+func decodeSidecar(sidecar []byte) (map[string]*doc, error) {
+	if !wire.IsImage(wire.SearchMagic, sidecar) {
+		var img sidecarImage
+		if err := gob.NewDecoder(bytes.NewReader(sidecar)).Decode(&img); err != nil {
+			return nil, fmt.Errorf("search: decoding sidecar: %w", err)
+		}
+		return img.Docs, nil
+	}
+	payload, err := wire.OpenImage(wire.SearchMagic, sidecar)
+	if err != nil {
+		return nil, fmt.Errorf("search: decoding sidecar: %w", err)
+	}
+	r := wire.NewReader(payload)
+	n := int(r.Uvarint())
+	if r.Err() == nil && n > r.Len() {
+		return nil, fmt.Errorf("search: corrupt sidecar: %d docs in %d bytes", n, r.Len())
+	}
+	docs := make(map[string]*doc, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		key := r.String()
+		d := &doc{Kind: r.String(), URL: r.String(), Path: r.String()}
+		ntok := int(r.Uvarint())
+		if r.Err() == nil && ntok > r.Len() {
+			return nil, fmt.Errorf("search: corrupt sidecar: %d tokens in %d bytes", ntok, r.Len())
+		}
+		d.Tokens = make([]string, 0, ntok)
+		for j := 0; j < ntok && r.Err() == nil; j++ {
+			d.Tokens = append(d.Tokens, r.String())
+		}
+		docs[key] = d
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("search: corrupt sidecar: %w", r.Err())
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("search: corrupt sidecar: %d trailing bytes", r.Len())
+	}
+	return docs, nil
 }
 
 // RecoverCheckpoint restores the index after a relational recovery.
@@ -59,10 +126,9 @@ func (ix *Index) CaptureCheckpoint() func() ([]byte, error) {
 // against sidecars from foreign or hand-edited directories.
 func (ix *Index) RecoverCheckpoint(sidecar []byte, rel *relstore.DB, tailApplied int) error {
 	if sidecar != nil && tailApplied == 0 {
-		var img sidecarImage
-		if err := gob.NewDecoder(bytes.NewReader(sidecar)).Decode(&img); err == nil {
-			if len(img.Docs) == contentRows(rel) {
-				ix.install(img.Docs)
+		if docs, err := decodeSidecar(sidecar); err == nil {
+			if len(docs) == contentRows(rel) {
+				ix.install(docs)
 				return nil
 			}
 		}

@@ -1,0 +1,43 @@
+package search
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+// TestLegacyGobSidecarLoads: decodeSidecar must still accept the gob
+// sidecarImage the pre-binary checkpoint writer produced, yielding the
+// same document set the binary image would.
+func TestLegacyGobSidecarLoads(t *testing.T) {
+	ix := NewIndex()
+	ix.IndexScript("os-course", "operating systems lecture", "Shih", []string{"os", "paging"})
+	ix.IndexHTML("http://mmu/os", "index.html", []byte("<html><body>virtual memory and paging</body></html>"))
+	ix.mu.RLock()
+	want := make(map[string]*doc, len(ix.docs))
+	for k, d := range ix.docs {
+		want[k] = d
+	}
+	ix.mu.RUnlock()
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sidecarImage{Docs: want}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeSidecar(buf.Bytes())
+	if err != nil {
+		t.Fatalf("legacy gob sidecar rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("decoded docs differ:\n got %+v\nwant %+v", got, want)
+	}
+
+	// An index installed from the legacy sidecar answers queries.
+	ix2 := NewIndex()
+	ix2.install(got)
+	hits := ix2.Search(Query{Terms: []string{"paging"}, TopK: 10})
+	if len(hits) == 0 {
+		t.Fatal("no hits from legacy-restored index")
+	}
+}

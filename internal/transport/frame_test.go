@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// legacyFrameBytes encodes an envelope the way the pre-overhaul
+// transport did: length prefix plus a fresh gob stream per frame.
+func legacyFrameBytes(t testing.TB, env *envelope) []byte {
+	t.Helper()
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(env); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	var head [4]byte
+	binary.BigEndian.PutUint32(head[:], uint32(body.Len()))
+	buf.Write(head[:])
+	buf.Write(body.Bytes())
+	return buf.Bytes()
+}
+
+func sameEnvelope(a, b *envelope) bool {
+	return a.ID == b.ID && a.Method == b.Method && a.IsResp == b.IsResp &&
+		a.More == b.More && a.Err == b.Err && bytes.Equal(a.Body, b.Body) &&
+		a.TraceID == b.TraceID && a.Parent == b.Parent
+}
+
+func TestBinaryFrameRoundTrip(t *testing.T) {
+	cases := []*envelope{
+		{},
+		{ID: 1, Method: "Ping"},
+		{ID: 1 << 62, Method: "Fabric.Push", Body: bytes.Repeat([]byte{0xAB}, 512)},
+		{ID: 9, IsResp: true, Err: "no such method"},
+		{ID: 3, Method: "Fabric.Search", TraceID: 0xDEADBEEF, Parent: 42},
+		{ID: 4, IsResp: true, More: true, Body: []byte("chunk")},
+		{ID: 5, Method: "m", Body: []byte{}, TraceID: 1},
+	}
+	for i, in := range cases {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, in); err != nil {
+			t.Fatalf("case %d: writeFrame: %v", i, err)
+		}
+		out, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("case %d: readFrame: %v", i, err)
+		}
+		if !sameEnvelope(in, out) {
+			t.Fatalf("case %d: round trip mismatch:\n in: %+v\nout: %+v", i, in, out)
+		}
+	}
+}
+
+// TestLegacyGobFrameAccepted pins the read-side fallback: a frame
+// written by the pre-overhaul gob codec must decode bit-identically,
+// trace fields included, so mixed-version fabrics interoperate during
+// a rolling upgrade.
+func TestLegacyGobFrameAccepted(t *testing.T) {
+	in := &envelope{
+		ID: 77, Method: "Fabric.Resolve", Body: []byte("bundle bytes"),
+		TraceID: 123456, Parent: 7,
+	}
+	out, err := readFrame(bytes.NewReader(legacyFrameBytes(t, in)))
+	if err != nil {
+		t.Fatalf("legacy frame rejected: %v", err)
+	}
+	if !sameEnvelope(in, out) {
+		t.Fatalf("legacy decode mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestFrameChecksumDetectsCorruption(t *testing.T) {
+	in := &envelope{ID: 5, Method: "SQL", Body: bytes.Repeat([]byte{0x11}, 64)}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one body byte; the CRC trailer must catch it.
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0x01
+	if _, err := readFrame(bytes.NewReader(raw)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestFrameBadVersionIsBadHeader(t *testing.T) {
+	in := &envelope{ID: 5, Method: "m"}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[5] = 0x7F // version byte, right after the prefix and magic
+	if _, err := readFrame(bytes.NewReader(raw)); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+// TestCorruptionErrorsAreNotUnreachable pins the repair-layer
+// contract: neither a corrupt header nor a checksum failure may be
+// classified as peer-unreachable — the peer answered, its answer was
+// damaged, and grafting its subtree away would repair the wrong
+// problem.
+func TestCorruptionErrorsAreNotUnreachable(t *testing.T) {
+	for _, err := range []error{ErrBadHeader, ErrChecksum} {
+		if Unreachable(err) {
+			t.Fatalf("Unreachable(%v) = true, want false", err)
+		}
+	}
+	if !Unreachable(ErrTimeout) || !Unreachable(ErrClosed) || !Unreachable(ErrPeerDown) {
+		t.Fatal("transport-level failures must remain unreachable")
+	}
+}
+
+// countingWriter records each Write call, so the test can pin the
+// single-syscall framing contract.
+type countingWriter struct {
+	writes int
+	buf    bytes.Buffer
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}
+
+// TestWriteFrameSingleWrite pins the fix for the old two-write frame:
+// header and body must leave in ONE Write call, so a failure can
+// never strand a peer blocked after a bare header, and a frame costs
+// one syscall instead of two.
+func TestWriteFrameSingleWrite(t *testing.T) {
+	w := &countingWriter{}
+	env := &envelope{ID: 1, Method: "Fabric.Push", Body: bytes.Repeat([]byte{9}, 10000)}
+	if err := writeFrame(w, env); err != nil {
+		t.Fatal(err)
+	}
+	if w.writes != 1 {
+		t.Fatalf("writeFrame issued %d writes, want 1", w.writes)
+	}
+	out, err := readFrame(&w.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEnvelope(env, out) {
+		t.Fatal("round trip through counting writer mismatched")
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	env := &envelope{ID: 1, Body: make([]byte, MaxFrame+1)}
+	if err := writeFrame(&countingWriter{}, env); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestFrameTruncatedFieldsAreBadHeader(t *testing.T) {
+	// A structurally short binary payload (magic present, fields cut)
+	// must be ErrBadHeader — but note a random truncation usually
+	// fails the CRC first, which is fine; this case hand-builds a
+	// payload whose CRC is valid but whose fields overrun.
+	payload := []byte{wire.FrameMagic, wire.Version, flagMethod, 0x01, 0xFF}
+	payload = wire.AppendUint32(payload, wire.Checksum(payload))
+	var buf bytes.Buffer
+	var head [4]byte
+	binary.BigEndian.PutUint32(head[:], uint32(len(payload)))
+	buf.Write(head[:])
+	buf.Write(payload)
+	if _, err := readFrame(&buf); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+func BenchmarkFrameEncode(b *testing.B) {
+	env := &envelope{ID: 42, Method: "Fabric.Push", Body: bytes.Repeat([]byte{0xCD}, 4096), TraceID: 7, Parent: 3}
+	var sink countingWriter
+	b.SetBytes(int64(len(env.Body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.buf.Reset()
+		if err := writeFrame(&sink, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameDecode(b *testing.B) {
+	env := &envelope{ID: 42, Method: "Fabric.Push", Body: bytes.Repeat([]byte{0xCD}, 4096), TraceID: 7, Parent: 3}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, env); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(env.Body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := readFrame(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameEncodeLegacyGob is the baseline the binary codec
+// replaced, kept runnable so the win stays measurable in-tree.
+func BenchmarkFrameEncodeLegacyGob(b *testing.B) {
+	env := &envelope{ID: 42, Method: "Fabric.Push", Body: bytes.Repeat([]byte{0xCD}, 4096), TraceID: 7, Parent: 3}
+	b.SetBytes(int64(len(env.Body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var body bytes.Buffer
+		if err := gob.NewEncoder(&body).Encode(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -20,13 +20,18 @@ func frameBytes(t testing.TB, env *envelope) []byte {
 
 // FuzzReadFrame feeds the wire decoder arbitrary bytes: hostile input
 // must produce an error — truncated headers, lying length prefixes,
-// corrupt gob bodies — and must never panic or allocate the claimed
-// (rather than the delivered) body size.
+// corrupt CRC trailers, corrupt gob bodies — and must never panic or
+// allocate the claimed (rather than the delivered) body size.
 func FuzzReadFrame(f *testing.F) {
-	// Well-formed frames.
+	// Well-formed binary frames.
 	f.Add(frameBytes(f, &envelope{ID: 1, Method: "Ping"}))
 	f.Add(frameBytes(f, &envelope{ID: 7, Method: "Fabric.Push", Body: bytes.Repeat([]byte{0xAB}, 512)}))
 	f.Add(frameBytes(f, &envelope{ID: 9, IsResp: true, Err: "no such method"}))
+	f.Add(frameBytes(f, &envelope{ID: 3, Method: "Fabric.Search", TraceID: 0xDEADBEEF, Parent: 42}))
+	f.Add(frameBytes(f, &envelope{ID: 4, IsResp: true, More: true, Body: []byte("chunk")}))
+	// A pre-overhaul gob frame: the read-side fallback must keep
+	// accepting these.
+	f.Add(legacyFrameBytes(f, &envelope{ID: 11, Method: "Fabric.Resolve", Body: []byte("legacy"), TraceID: 5}))
 	// Hostile shapes.
 	f.Add([]byte{})                             // empty stream
 	f.Add([]byte{0x00})                         // truncated header
@@ -35,8 +40,11 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0x7F, 0xFF, 0xFF, 0xFF})       // length just beyond MaxFrame
 	f.Add([]byte{0x00, 0x00, 0x00, 0x10, 1, 2}) // claims 16 bytes, delivers 2
 	corrupt := frameBytes(f, &envelope{ID: 3, Method: "SQL", Body: []byte("x")})
-	corrupt[len(corrupt)-1] ^= 0xFF
+	corrupt[len(corrupt)-1] ^= 0xFF // breaks the CRC trailer
 	f.Add(corrupt)
+	badCRC := frameBytes(f, &envelope{ID: 8, Method: "Fabric.Push", Body: bytes.Repeat([]byte{0x33}, 64)})
+	badCRC[len(badCRC)/2] ^= 0x01 // flips a body byte under the CRC
+	f.Add(badCRC)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, err := readFrame(bytes.NewReader(data))
 		if err != nil {
@@ -51,22 +59,24 @@ func FuzzReadFrame(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-reading an accepted frame failed: %v", err)
 		}
-		if back.ID != env.ID || back.Method != env.Method || back.IsResp != env.IsResp ||
-			back.Err != env.Err || !bytes.Equal(back.Body, env.Body) {
+		if !sameEnvelope(env, back) {
 			t.Fatalf("round-trip mismatch: %+v vs %+v", env, back)
 		}
 	})
 }
 
-// FuzzFrameRoundTrip builds envelopes from arbitrary field values and
-// asserts the codec is lossless for everything writeFrame accepts.
+// FuzzFrameRoundTrip builds envelopes from arbitrary field values —
+// trace context and stream chunks included — and asserts the codec is
+// lossless for everything writeFrame accepts.
 func FuzzFrameRoundTrip(f *testing.F) {
-	f.Add(uint64(1), "Ping", false, "", []byte(nil))
-	f.Add(uint64(1<<63), "Fabric.Resolve", true, "fabric: no station on the parent route holds an instance", []byte("bundle"))
-	f.Add(uint64(0), "", false, "", bytes.Repeat([]byte{0}, 4096))
-	f.Add(uint64(42), "a method name with spaces \x00 and bytes", true, "err", []byte{0xDE, 0xAD})
-	f.Fuzz(func(t *testing.T, id uint64, method string, isResp bool, errStr string, body []byte) {
-		in := &envelope{ID: id, Method: method, IsResp: isResp, Err: errStr, Body: body}
+	f.Add(uint64(1), "Ping", false, "", []byte(nil), uint64(0), uint64(0), false)
+	f.Add(uint64(1<<63), "Fabric.Resolve", true, "fabric: no station on the parent route holds an instance", []byte("bundle"), uint64(0), uint64(0), false)
+	f.Add(uint64(0), "", false, "", bytes.Repeat([]byte{0}, 4096), uint64(0), uint64(0), true)
+	f.Add(uint64(42), "a method name with spaces \x00 and bytes", true, "err", []byte{0xDE, 0xAD}, uint64(7), uint64(3), false)
+	f.Add(uint64(5), "Fabric.Search", false, "", []byte("q"), uint64(1<<62), uint64(1<<61), true)
+	f.Fuzz(func(t *testing.T, id uint64, method string, isResp bool, errStr string, body []byte, traceID, parent uint64, more bool) {
+		in := &envelope{ID: id, Method: method, IsResp: isResp, Err: errStr, Body: body,
+			TraceID: traceID, Parent: parent, More: more}
 		var buf bytes.Buffer
 		if err := writeFrame(&buf, in); err != nil {
 			t.Fatalf("writeFrame: %v", err)
@@ -79,11 +89,8 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatalf("readFrame: %v", err)
 		}
-		if out.ID != in.ID || out.Method != in.Method || out.IsResp != in.IsResp || out.Err != in.Err {
+		if !sameEnvelope(in, out) {
 			t.Fatalf("round-trip mismatch: %+v vs %+v", in, out)
-		}
-		if !bytes.Equal(out.Body, in.Body) {
-			t.Fatalf("body mismatch: %d bytes in, %d out", len(in.Body), len(out.Body))
 		}
 		// A truncated frame must error, never hang or panic.
 		if buf2 := frameBytes(t, in); len(buf2) > 4 {

@@ -9,7 +9,6 @@ package transport
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -36,12 +35,18 @@ const (
 	StreamChunk = 1 << 20
 )
 
-// Transport errors.
+// Transport errors. ErrBadHeader and ErrChecksum are distinct on
+// purpose: the first means a frame's structure could not be parsed
+// (bad magic, version, or field layout), the second that a
+// structurally complete frame failed integrity verification (CRC32C
+// mismatch on a binary frame, or an undecodable legacy gob body).
+// Neither means the peer is unreachable — see Unreachable.
 var (
 	ErrClosed    = errors.New("transport: connection closed")
 	ErrTooLarge  = errors.New("transport: frame exceeds limit")
 	ErrNoMethod  = errors.New("transport: no such method")
 	ErrBadHeader = errors.New("transport: corrupt frame header")
+	ErrChecksum  = errors.New("transport: frame failed checksum")
 	ErrTimeout   = errors.New("transport: call timed out")
 	ErrPeerDown  = errors.New("transport: peer marked down")
 )
@@ -63,14 +68,13 @@ func Unreachable(err error) bool {
 	return errors.As(err, &ne)
 }
 
-// envelope is the wire message. More marks a streamed-response chunk:
-// the response continues in further frames with the same ID, and the
-// stream ends with a frame whose More is false (or whose Err reports a
-// mid-stream failure). TraceID/Parent carry the distributed-tracing
-// context hop-by-hop: a non-zero TraceID makes the serving hop record
-// a span whose parent is the caller's span (Parent). Old peers ignore
-// the fields (gob skips unknowns), so traced and untraced stations
-// interoperate.
+// envelope is the wire message (see frame.go for the binary frame
+// layout). More marks a streamed-response chunk: the response
+// continues in further frames with the same ID, and the stream ends
+// with a frame whose More is false (or whose Err reports a mid-stream
+// failure). TraceID/Parent carry the distributed-tracing context
+// hop-by-hop: a non-zero TraceID makes the serving hop record a span
+// whose parent is the caller's span (Parent).
 type envelope struct {
 	ID      uint64
 	Method  string
@@ -80,49 +84,6 @@ type envelope struct {
 	Body    []byte
 	TraceID uint64
 	Parent  uint64
-}
-
-// writeFrame sends one envelope with a 4-byte length prefix.
-func writeFrame(w io.Writer, env *envelope) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
-		return err
-	}
-	if buf.Len() > MaxFrame {
-		return ErrTooLarge
-	}
-	var head [4]byte
-	binary.BigEndian.PutUint32(head[:], uint32(buf.Len()))
-	if _, err := w.Write(head[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(buf.Bytes())
-	return err
-}
-
-// readFrame receives one envelope. The body is read incrementally
-// rather than allocated up front from the header's length field, so a
-// hostile or corrupt header claiming a near-MaxFrame size costs only
-// the bytes the peer actually sends.
-func readFrame(r io.Reader) (*envelope, error) {
-	var head [4]byte
-	if _, err := io.ReadFull(r, head[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(head[:])
-	if n > MaxFrame {
-		return nil, ErrTooLarge
-	}
-	var body bytes.Buffer
-	body.Grow(int(min(n, 1<<20)))
-	if _, err := io.CopyN(&body, r, int64(n)); err != nil {
-		return nil, err
-	}
-	var env envelope
-	if err := gob.NewDecoder(&body).Decode(&env); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
-	}
-	return &env, nil
 }
 
 // Marshal encodes a payload value for an envelope body.

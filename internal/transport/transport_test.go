@@ -220,10 +220,12 @@ func TestReadFrameRejectsOversize(t *testing.T) {
 }
 
 func TestReadFrameRejectsGarbage(t *testing.T) {
+	// An undecodable payload is body corruption (ErrChecksum), not a
+	// header problem: the length prefix itself parsed fine.
 	var buf bytes.Buffer
 	buf.Write([]byte{0, 0, 0, 4})
 	buf.Write([]byte("junk"))
-	if _, err := readFrame(&buf); !errors.Is(err, ErrBadHeader) {
+	if _, err := readFrame(&buf); !errors.Is(err, ErrChecksum) {
 		t.Fatalf("err = %v", err)
 	}
 }

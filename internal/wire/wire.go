@@ -1,0 +1,398 @@
+// Package wire is the compact binary encoding shared by the hot
+// persistence and transport paths: a length-prefixed, CRC32C-checked
+// framing for transport envelopes and WAL records, and a varint-tagged
+// value codec covering the relational engine's scalar set (nil, int64,
+// float64, string, []byte, bool, time.Time). It replaces gob on the
+// wire (which re-sends type descriptors on every frame) and JSON in
+// the WAL (which base64-wraps every []byte), and recycles its encode
+// buffers through a sync.Pool so steady-state traffic allocates
+// nothing for framing.
+//
+// Every magic byte lives in [0x80, 0xF7]: a gob stream always starts
+// with a segment length encoded either as one byte < 0x80 or as a
+// negated byte count in [0xF8, 0xFF], and a JSON record starts with
+// '{' (0x7B), so one-byte sniffing cleanly separates the new format
+// from both legacy encodings. That is what lets every decoder keep a
+// read-side fallback: old gob snapshots, gob sidecars and JSON WAL
+// tails are recognized and recovered one last time, and the next
+// checkpoint rewrites them in the binary format.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// Format magic bytes. All chosen from [0x80, 0xF7], the range no gob
+// stream or JSON document can start with (see the package comment).
+const (
+	FrameMagic  = 0xB7 // transport envelope payload
+	RecordMagic = 0xB9 // one WAL record
+	SnapMagic   = 0xBA // relstore checkpoint image
+	BlobMagic   = 0xBB // BLOB store sidecar
+	SearchMagic = 0xBC // content-index sidecar
+
+	// Version is the current format version, encoded after every
+	// magic byte. Decoders reject versions they do not know.
+	Version = 1
+)
+
+// Codec errors.
+var (
+	// ErrCorrupt reports a structural decoding failure: a bad magic or
+	// version byte, a truncated field, a length that overruns the
+	// input.
+	ErrCorrupt = errors.New("wire: corrupt encoding")
+	// ErrChecksum reports that a frame or record decoded structurally
+	// but its CRC32C trailer does not match its payload.
+	ErrChecksum = errors.New("wire: checksum mismatch")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C (Castagnoli) checksum of p — the
+// polynomial with hardware support on both amd64 and arm64, so a
+// trailer costs a table lookup loop at worst.
+func Checksum(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
+// maxPooledBuf bounds the buffers the pool retains: a one-off giant
+// frame (a full-media bundle) should not pin its backing array for
+// the life of the process.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuf returns a zero-length scratch buffer from the pool.
+func GetBuf() []byte { return (*bufPool.Get().(*[]byte))[:0] }
+
+// PutBuf recycles a buffer obtained from GetBuf (pass the final,
+// possibly reallocated slice). Oversized buffers are dropped.
+func PutBuf(b []byte) {
+	if cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// AppendUvarint appends v in unsigned LEB128.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendVarint appends v zigzag-encoded, so small negatives stay
+// small.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// AppendUint32 appends v as 4 fixed little-endian bytes.
+func AppendUint32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes appends a length-prefixed byte slice.
+func AppendBytes(dst []byte, b []byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// Value type tags.
+const (
+	tagNil   = 0
+	tagInt   = 1
+	tagFloat = 2
+	tagStr   = 3
+	tagBytes = 4
+	tagFalse = 5
+	tagTrue  = 6
+	tagTime  = 7
+)
+
+// AppendValue appends one tagged scalar. The accepted dynamic types
+// are exactly the relational engine's canonical set: nil, int64,
+// float64, string, []byte, bool, time.Time. Anything else is an
+// error — callers hold already-coerced values, so hitting it means a
+// bug upstream, not bad user input.
+func AppendValue(dst []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, tagNil), nil
+	case int64:
+		return AppendVarint(append(dst, tagInt), x), nil
+	case float64:
+		dst = append(dst, tagFloat)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(x)), nil
+	case string:
+		return AppendString(append(dst, tagStr), x), nil
+	case []byte:
+		return AppendBytes(append(dst, tagBytes), x), nil
+	case bool:
+		if x {
+			return append(dst, tagTrue), nil
+		}
+		return append(dst, tagFalse), nil
+	case time.Time:
+		// Seconds + nanos cover the full time.Time range (UnixNano
+		// alone saturates outside 1678-2262). The zone is normalized
+		// to UTC, matching what every legacy decode path produced.
+		dst = append(dst, tagTime)
+		dst = AppendVarint(dst, x.Unix())
+		return AppendUvarint(dst, uint64(x.Nanosecond())), nil
+	default:
+		return dst, fmt.Errorf("%w: unencodable value type %T", ErrCorrupt, v)
+	}
+}
+
+// Reader decodes wire primitives from a byte slice with a sticky
+// error: after the first failure every further read returns zero
+// values, so decode sequences need a single Err check at the end.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a buffer for decoding.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding failure, nil if none.
+func (r *Reader) Err() error { return r.err }
+
+// Len reports the bytes not yet consumed.
+func (r *Reader) Len() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated at offset %d", ErrCorrupt, r.off)
+	}
+}
+
+// Byte reads one byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil || r.off >= len(r.buf) {
+		r.fail()
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Uvarint reads an unsigned LEB128 integer.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a zigzag-encoded signed integer.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Uint32 reads 4 fixed little-endian bytes.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *Reader) take(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail()
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+// String reads a length-prefixed string (an owning copy).
+func (r *Reader) String() string {
+	return string(r.take(r.Uvarint()))
+}
+
+// Bytes reads a length-prefixed byte slice as an owning copy, safe to
+// retain after the underlying buffer is recycled. A zero length
+// decodes as nil.
+func (r *Reader) Bytes() []byte {
+	b := r.take(r.Uvarint())
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// Value reads one tagged scalar written by AppendValue.
+func (r *Reader) Value() any {
+	switch tag := r.Byte(); tag {
+	case tagNil:
+		return nil
+	case tagInt:
+		return r.Varint()
+	case tagFloat:
+		if r.err != nil || r.off+8 > len(r.buf) {
+			r.fail()
+			return nil
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+		r.off += 8
+		return v
+	case tagStr:
+		return r.String()
+	case tagBytes:
+		return r.Bytes()
+	case tagFalse:
+		return false
+	case tagTrue:
+		return true
+	case tagTime:
+		sec := r.Varint()
+		nsec := r.Uvarint()
+		if r.err != nil || nsec >= 1e9 {
+			r.fail()
+			return nil
+		}
+		return time.Unix(sec, int64(nsec)).UTC()
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: unknown value tag %d", ErrCorrupt, tag)
+		}
+		return nil
+	}
+}
+
+// AppendRecord frames one record payload for an append-only log:
+//
+//	[RecordMagic][version][uvarint len(payload)][payload][crc32c(payload)]
+//
+// The CRC trailer makes half-written tails and bit rot detectable;
+// the magic byte lets a replay distinguish binary records from legacy
+// JSON lines in the same file.
+func AppendRecord(dst []byte, payload []byte) []byte {
+	dst = append(dst, RecordMagic, Version)
+	dst = AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return AppendUint32(dst, Checksum(payload))
+}
+
+// ReadRecord reads one record written by AppendRecord from br. It
+// returns io.EOF at a clean record boundary, io.ErrUnexpectedEOF when
+// the stream ends inside a record (the torn tail a crash mid-append
+// leaves), ErrChecksum when a fully present record fails its CRC, and
+// ErrCorrupt for structural garbage. max bounds the accepted payload
+// size (<= 0 means no bound). The returned payload is an owning copy.
+func ReadRecord(br *bufio.Reader, max int) ([]byte, error) {
+	magic, err := br.ReadByte()
+	if err != nil {
+		return nil, io.EOF
+	}
+	if magic != RecordMagic {
+		return nil, fmt.Errorf("%w: record magic 0x%02x", ErrCorrupt, magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: record version %d", ErrCorrupt, ver)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if max > 0 && n > uint64(max) {
+		return nil, fmt.Errorf("%w: record claims %d bytes", ErrCorrupt, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(br, crc[:]); err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if binary.LittleEndian.Uint32(crc[:]) != Checksum(payload) {
+		return nil, fmt.Errorf("%w: record of %d bytes", ErrChecksum, n)
+	}
+	return payload, nil
+}
+
+// SealImage frames a whole-file image (a checkpoint snapshot or
+// sidecar): [magic][version][payload][crc32c(payload)]. The payload
+// slice is appended to a fresh buffer; the caller owns the result.
+func SealImage(magic byte, payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+6)
+	out = append(out, magic, Version)
+	out = append(out, payload...)
+	return AppendUint32(out, Checksum(payload))
+}
+
+// OpenImage validates a sealed image and returns its payload (a
+// subslice of data — it stays valid only as long as data does).
+// ErrCorrupt covers a wrong magic or version or a short file;
+// ErrChecksum a payload that fails its trailer.
+func OpenImage(magic byte, data []byte) ([]byte, error) {
+	if len(data) < 6 || data[0] != magic {
+		return nil, fmt.Errorf("%w: not a wire image (magic 0x%02x)", ErrCorrupt, magic)
+	}
+	if data[1] != Version {
+		return nil, fmt.Errorf("%w: image version %d", ErrCorrupt, data[1])
+	}
+	payload := data[2 : len(data)-4]
+	if binary.LittleEndian.Uint32(data[len(data)-4:]) != Checksum(payload) {
+		return nil, fmt.Errorf("%w: image of %d bytes", ErrChecksum, len(data))
+	}
+	return payload, nil
+}
+
+// IsImage reports whether data plausibly starts a sealed image with
+// the given magic — the one-byte sniff decoders use to pick between
+// the binary format and their legacy gob/JSON fallback.
+func IsImage(magic byte, data []byte) bool {
+	return len(data) > 0 && data[0] == magic
+}

@@ -1,0 +1,322 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	values := []any{
+		nil,
+		int64(0), int64(1), int64(-1), int64(math.MaxInt64), int64(math.MinInt64),
+		float64(0), 3.14159, math.Inf(1), math.Inf(-1), -0.0,
+		"", "hello", "héllo wörld \x00 with bytes",
+		[]byte(nil), []byte{0xDE, 0xAD, 0xBE, 0xEF}, bytes.Repeat([]byte{7}, 4096),
+		true, false,
+		time.Unix(0, 0).UTC(),
+		time.Date(1999, 9, 21, 12, 30, 45, 123456789, time.UTC),
+		time.Date(1600, 1, 1, 0, 0, 0, 999999999, time.UTC), // pre-Unix, beyond UnixNano range is fine too
+		time.Date(2400, 6, 15, 8, 0, 0, 1, time.UTC),
+	}
+	var buf []byte
+	for _, v := range values {
+		var err error
+		buf, err = AppendValue(buf, v)
+		if err != nil {
+			t.Fatalf("AppendValue(%#v): %v", v, err)
+		}
+	}
+	r := NewReader(buf)
+	for _, want := range values {
+		got := r.Value()
+		if r.Err() != nil {
+			t.Fatalf("decoding %#v: %v", want, r.Err())
+		}
+		switch w := want.(type) {
+		case []byte:
+			if !bytes.Equal(got.([]byte), w) && !(len(w) == 0 && got == nil) {
+				t.Fatalf("bytes round trip: got %v want %v", got, w)
+			}
+		case time.Time:
+			if !got.(time.Time).Equal(w) {
+				t.Fatalf("time round trip: got %v want %v", got, w)
+			}
+		default:
+			if got != want {
+				t.Fatalf("round trip: got %#v want %#v", got, want)
+			}
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d bytes left over", r.Len())
+	}
+}
+
+func TestValueRejectsUnknownType(t *testing.T) {
+	if _, err := AppendValue(nil, struct{ X int }{1}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	full, err := AppendValue(nil, "a string long enough to truncate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix must fail with ErrCorrupt, never panic.
+	for i := 0; i < len(full); i++ {
+		r := NewReader(full[:i])
+		r.Value()
+		if r.Err() == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", i)
+		}
+		if !errors.Is(r.Err(), ErrCorrupt) {
+			t.Fatalf("prefix of %d bytes: err = %v, want ErrCorrupt", i, r.Err())
+		}
+	}
+}
+
+func TestReaderLyingLength(t *testing.T) {
+	// A string claiming far more bytes than the buffer holds must not
+	// allocate the claimed size or read out of bounds.
+	buf := AppendUvarint([]byte{tagStr}[:1], 1<<40)
+	r := NewReader(buf)
+	r.Value()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", r.Err())
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	var log []byte
+	payloads := [][]byte{
+		[]byte("first"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 1000),
+		[]byte("{looks like JSON but is binary payload}"),
+	}
+	for _, p := range payloads {
+		log = AppendRecord(log, p)
+	}
+	br := bufio.NewReader(bytes.NewReader(log))
+	for i, want := range payloads {
+		got, err := ReadRecord(br, 0)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadRecord(br, 0); err != io.EOF {
+		t.Fatalf("after last record: err = %v, want io.EOF", err)
+	}
+}
+
+// TestRecordTornTail pins the crash contract: a log truncated at any
+// byte offset yields every record fully contained in the prefix, then
+// exactly io.EOF (clean boundary) or io.ErrUnexpectedEOF (torn
+// record) — never a hang, a panic, or a phantom record.
+func TestRecordTornTail(t *testing.T) {
+	var log []byte
+	var boundaries []int
+	for i := 0; i < 5; i++ {
+		log = AppendRecord(log, bytes.Repeat([]byte{byte(i)}, 10+i*7))
+		boundaries = append(boundaries, len(log))
+	}
+	complete := func(n int) int {
+		c := 0
+		for _, b := range boundaries {
+			if b <= n {
+				c++
+			}
+		}
+		return c
+	}
+	for cut := 0; cut <= len(log); cut++ {
+		br := bufio.NewReader(bytes.NewReader(log[:cut]))
+		read := 0
+		for {
+			_, err := ReadRecord(br, 0)
+			if err == io.EOF {
+				break
+			}
+			if err == io.ErrUnexpectedEOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("cut %d: unexpected error %v", cut, err)
+			}
+			read++
+		}
+		if want := complete(cut); read != want {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, read, want)
+		}
+	}
+}
+
+func TestRecordChecksumMismatch(t *testing.T) {
+	log := AppendRecord(nil, []byte("payload under protection"))
+	// Flip one payload byte; the frame is fully present, so this must
+	// surface as ErrChecksum, not as a torn tail.
+	log[5] ^= 0x01
+	_, err := ReadRecord(bufio.NewReader(bytes.NewReader(log)), 0)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestRecordRejectsForeignBytes(t *testing.T) {
+	for _, junk := range [][]byte{
+		[]byte(`{"seq":1,"commit":true}` + "\n"), // legacy JSON line
+		{0x00, 0x01, 0x02},
+		{0xFF, 0x82},
+	} {
+		_, err := ReadRecord(bufio.NewReader(bytes.NewReader(junk)), 0)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("junk %v: err = %v, want ErrCorrupt", junk, err)
+		}
+	}
+}
+
+func TestRecordSizeBound(t *testing.T) {
+	log := AppendRecord(nil, bytes.Repeat([]byte{1}, 100))
+	if _, err := ReadRecord(bufio.NewReader(bytes.NewReader(log)), 10); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt for an over-limit record", err)
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	payload := []byte("the whole checkpoint image body")
+	img := SealImage(SnapMagic, payload)
+	if !IsImage(SnapMagic, img) {
+		t.Fatal("sealed image not recognized by sniff")
+	}
+	if IsImage(BlobMagic, img) {
+		t.Fatal("sniff matched the wrong magic")
+	}
+	got, err := OpenImage(SnapMagic, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("image payload mismatch")
+	}
+	// Corruption anywhere in the payload must be caught by the CRC.
+	img[4] ^= 0x40
+	if _, err := OpenImage(SnapMagic, img); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+	// A gob stream must never sniff as an image.
+	if IsImage(SnapMagic, []byte{0x1F, 0x8B, 0x00}) {
+		t.Fatal("gob-ish bytes sniffed as image")
+	}
+}
+
+func TestBufPool(t *testing.T) {
+	b := GetBuf()
+	if len(b) != 0 {
+		t.Fatal("pooled buffer not empty")
+	}
+	b = append(b, "scratch"...)
+	PutBuf(b)
+	// Oversized buffers must be dropped, not retained.
+	PutBuf(make([]byte, 0, maxPooledBuf*2))
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: the codec against the encodings it replaces. These
+// ride in the CI benchtime=1x compile check with every other package's
+// benchmarks.
+// ---------------------------------------------------------------------------
+
+func benchRow() map[string]any {
+	return map[string]any{
+		"script_name": "course-101/lecture-07",
+		"author":      "prof",
+		"position":    int64(7),
+		"ratio":       0.625,
+		"persistent":  true,
+		"created":     time.Date(1999, 3, 1, 9, 0, 0, 0, time.UTC),
+		"content":     bytes.Repeat([]byte{0x5A}, 1024),
+	}
+}
+
+func BenchmarkAppendValueRow(b *testing.B) {
+	row := benchRow()
+	keys := make([]string, 0, len(row))
+	for k := range row {
+		keys = append(keys, k)
+	}
+	buf := GetBuf()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		for _, k := range keys {
+			buf = AppendString(buf, k)
+			var err error
+			buf, err = AppendValue(buf, row[k])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkReadValueRow(b *testing.B) {
+	row := benchRow()
+	var buf []byte
+	for k, v := range row {
+		buf = AppendString(buf, k)
+		var err error
+		buf, err = AppendValue(buf, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		for j := 0; j < len(row); j++ {
+			_ = r.String() // vet reads a String() method as fmt.Stringer
+			r.Value()
+		}
+		if r.Err() != nil || r.Len() != 0 {
+			b.Fatalf("decode: %v (%d left)", r.Err(), r.Len())
+		}
+	}
+}
+
+func BenchmarkRecordRoundTrip(b *testing.B) {
+	payload := bytes.Repeat([]byte{0xC3}, 4096)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := GetBuf()
+		buf = AppendRecord(buf, payload)
+		got, err := ReadRecord(bufio.NewReader(bytes.NewReader(buf)), 0)
+		if err != nil || len(got) != len(payload) {
+			b.Fatalf("round trip: %v", err)
+		}
+		PutBuf(buf)
+	}
+}
+
+func ExampleAppendValue() {
+	buf, _ := AppendValue(nil, int64(-42))
+	buf, _ = AppendValue(buf, "doc")
+	r := NewReader(buf)
+	fmt.Println(r.Value(), r.Value(), r.Err())
+	// Output: -42 doc <nil>
+}
