@@ -3,7 +3,7 @@ GO ?= go
 # The targets below are exactly what .github/workflows/ci.yml runs, so a
 # green `make ci` locally means a green CI run.
 
-.PHONY: build vet fmt-check test race race-fabric fuzz-smoke bench bench-check obs-overhead load-smoke ci
+.PHONY: build vet fmt-check lint test race race-fabric fuzz-smoke bench bench-check obs-overhead load-smoke ci
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,14 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Project linter: webdoclint type-checks every package and enforces
+# the invariants go vet cannot see — atomic-write discipline, lock
+# acquisition order, errors.Is over sentinel ==, trace propagation in
+# handler scopes, and wire-tag encode/decode coverage. Zero
+# dependencies; the only waivers are reasoned //lint:ignore comments.
+lint:
+	$(GO) run ./cmd/webdoclint ./...
+
 test:
 	$(GO) test ./...
 
@@ -26,9 +34,12 @@ test:
 # corrupt search-<gen> files) plus its concurrent index/query stress.
 # internal/obs rides along: its span ring and histogram are written to
 # from every RPC goroutine, so the race detector is the proof they
-# are safe to leave always-on.
+# are safe to leave always-on. internal/wire, internal/blob and
+# internal/loadgen joined the matrix with the binary codec and load
+# harness work: codec buffers, blob generation handoff and the load
+# recorder's per-worker rings all see concurrent writers.
 race:
-	$(GO) test -race ./internal/relstore/... ./internal/docdb/... ./internal/search/... ./internal/obs/...
+	$(GO) test -race ./internal/relstore/... ./internal/docdb/... ./internal/search/... ./internal/obs/... ./internal/wire/... ./internal/blob/... ./internal/loadgen/...
 
 # The live distribution layer under the race detector: the in-process
 # multi-station fabric (including the 13-station failure/repair run,
@@ -74,4 +85,4 @@ obs-overhead:
 load-smoke:
 	$(GO) run ./cmd/webdocload -profile examples/loadprofiles/ci-smoke.yaml
 
-ci: build vet fmt-check test race race-fabric fuzz-smoke bench-check obs-overhead load-smoke
+ci: build vet fmt-check lint test race race-fabric fuzz-smoke bench-check obs-overhead load-smoke

@@ -44,9 +44,11 @@
 package main
 
 import (
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -144,8 +146,8 @@ func main() {
 			if _, err := store.CheckpointNow(); err != nil {
 				log.Fatalf("webdocd: checkpointing migrated state: %v", err)
 			}
-			os.Rename(*walPath, *walPath+".migrated")
-			os.Rename(*walPath+".blobs", *walPath+".blobs.migrated")
+			archiveLegacy(*walPath)
+			archiveLegacy(*walPath + ".blobs")
 			log.Printf("webdocd: migrated legacy WAL %s into %s", *walPath, dir)
 		}
 	}
@@ -378,8 +380,8 @@ func prepareLegacyMigration(rel *relstore.DB, blobs *blob.Store, path, dir strin
 		// the full legacy state, or a directory with genuinely newer
 		// history: the installed generation is authoritative either
 		// way, so retire the legacy files without replaying them.
-		os.Rename(path, path+".migrated")
-		os.Rename(path+".blobs", path+".blobs.migrated")
+		archiveLegacy(path)
+		archiveLegacy(path + ".blobs")
 		log.Printf("webdocd: %s already holds a checkpoint; archived legacy WAL %s", dir, path)
 		return false
 	}
@@ -407,6 +409,21 @@ func prepareLegacyMigration(rel *relstore.DB, blobs *blob.Store, path, dir strin
 	}
 	log.Printf("webdocd: replayed legacy WAL %s (%d transactions)", path, n)
 	return true
+}
+
+// archiveLegacy retires a legacy durability file by renaming it to
+// NAME.migrated. A missing file is fine — not every station had a
+// .blobs sidecar — but any other failure is fatal: the checkpoint in
+// the data directory has already committed the migration, and leaving
+// the legacy file in place would hand the next restart a data dir that
+// looks half-migrated (and, under -wal, re-archive or fatally confuse
+// it) without anyone having noticed.
+func archiveLegacy(path string) {
+	//lint:ignore atomicwrite archive rename within one directory of a file the installed checkpoint has already superseded; no durable state can be lost mid-rename
+	err := os.Rename(path, path+".migrated")
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		log.Fatalf("webdocd: archiving legacy file %s: %v", path, err)
+	}
 }
 
 // seed authors the synthetic startup course (pages > 0) unless the WAL

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicWrite enforces the durability rule PR 4 was built on: files
+// that must survive a crash go through internal/atomicio's
+// temp-then-rename, never a raw in-place write. os.Create and
+// os.WriteFile truncate the destination before the new bytes are
+// safe, so a crash mid-write destroys the only copy; a bare os.Rename
+// outside atomicio is usually the install half of a hand-rolled
+// temp-then-rename that forgot the fsync (or an unchecked archival
+// move). Writers with a genuine reason — appending logs use
+// os.OpenFile and are out of scope; archival renames of files that
+// are not the sole copy can carry a //lint:ignore atomicwrite with
+// that argument.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "durable files must go through internal/atomicio, not raw os.Create/os.WriteFile/os.Rename",
+	Run:  runAtomicWrite,
+}
+
+var atomicWriteBanned = map[string]string{
+	"Create":    "truncates the destination in place — a crash mid-write destroys the previous copy; write through internal/atomicio.WriteFile",
+	"WriteFile": "truncates the destination in place — a crash mid-write leaves a torn file; write through internal/atomicio.WriteFile",
+	"Rename":    "installs a file outside internal/atomicio's fsync-then-rename protocol; use atomicio.WriteFile, or annotate why this move cannot lose data",
+}
+
+func runAtomicWrite(p *Pass) {
+	if p.Pkg.Name() == "atomicio" {
+		return // the one place allowed to speak to os directly
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			reason, banned := atomicWriteBanned[sel.Sel.Name]
+			if !banned {
+				return true
+			}
+			fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			p.Reportf(call.Pos(), "os.%s %s", sel.Sel.Name, reason)
+			return true
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// LockOrder checks statically-known table declarations against
+// relstore's lock hierarchy: per-table locks are only ever acquired in
+// ascending table-name order, so a table list declared to Begin (or
+// reaching Begin through ApplyThen's batch) must be sorted. Begin
+// itself sorts what it is handed, but a declaration written out of
+// order stops reading as the lock-order contract and is one copy-paste
+// away from a lazy-acquisition ErrLockOrder at runtime — the linter
+// keeps the declared order and the acquisition order literally
+// identical. Lists built dynamically (slices, spreads, variables) are
+// out of static reach and skipped.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "table lists declared to relstore Begin must be in sorted order",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isRelstoreMethod(p, call, "Begin", "DB") {
+				return true
+			}
+			if call.Ellipsis.IsValid() {
+				return true // Begin(tables...) — list not statically known
+			}
+			names := make([]string, 0, len(call.Args))
+			for _, arg := range call.Args {
+				tv, ok := p.Info.Types[arg]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					return true // any non-constant member hides the order
+				}
+				names = append(names, constant.StringVal(tv.Value))
+			}
+			for i := 1; i < len(names); i++ {
+				switch {
+				case names[i] == names[i-1]:
+					p.Reportf(call.Args[i].Pos(), "duplicate table %q in Begin declaration", names[i])
+				case names[i] < names[i-1]:
+					p.Reportf(call.Args[i].Pos(), "tables declared to Begin out of order: %q sorts before %q — locks are acquired in ascending table-name order", names[i], names[i-1])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isRelstoreMethod reports whether call invokes the named method on
+// relstore's recvType (matched by package and type name, so fixture
+// copies of the real signatures are caught too).
+func isRelstoreMethod(p *Pass, call *ast.CallExpr, method, recvType string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "relstore" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == recvType
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SentinelErr flags ==/!= comparisons against the module's sentinel
+// errors (package-level error variables named Err*). Every layer here
+// wraps errors with %w — the transport wraps peer errors, relstore
+// wraps table names in, wire wraps offsets — so a direct comparison
+// silently stops matching the moment anyone adds context. errors.Is
+// walks the wrap chain and is the only comparison that stays correct.
+// Comparisons against nil and against sentinels from other modules
+// (io.EOF has its own idioms) are left alone.
+var SentinelErr = &Analyzer{
+	Name: "sentinelerr",
+	Doc:  "sentinel errors must be matched with errors.Is, not == or !=",
+	Run:  runSentinelErr,
+}
+
+func runSentinelErr(p *Pass) {
+	modulePrefix := moduleOf(p.Pkg.Path())
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			for _, operand := range []ast.Expr{bin.X, bin.Y} {
+				v := sentinelVar(p, operand, modulePrefix)
+				if v == nil {
+					continue
+				}
+				p.Reportf(bin.Pos(), "comparison %s %s misses wrapped errors; use errors.Is(err, %s.%s)", bin.Op, v.Name(), v.Pkg().Name(), v.Name())
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// sentinelVar resolves expr to a package-level error variable named
+// Err* declared inside this module, nil otherwise.
+func sentinelVar(p *Pass, expr ast.Expr, modulePrefix string) *types.Var {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := p.ObjectOf(id).(*types.Var)
+	if !ok || v.Pkg() == nil || !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // a local variable that happens to be named Err*
+	}
+	if moduleOf(v.Pkg().Path()) != modulePrefix {
+		return nil
+	}
+	if !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+		return nil
+	}
+	return v
+}
+
+// moduleOf reduces an import path to its leading module-ish component
+// ("repro/internal/wire" -> "repro"), enough to tell this module's
+// packages from the standard library and anything else.
+func moduleOf(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Suppressions: a comment of the form
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// silences diagnostics from that one analyzer on the comment's own
+// line (trailing form) or the line immediately below it (standalone
+// form). The reason is mandatory — an unexplained suppression is
+// itself a diagnostic — and so is actually suppressing something: a
+// suppression that matches no diagnostic is reported as unused, so
+// stale annotations cannot outlive the code they excused.
+const suppressPrefix = "//lint:ignore"
+
+// suppressionAnalyzer names the pseudo-analyzer that owns diagnostics
+// about the suppressions themselves. It cannot be suppressed.
+const suppressionAnalyzer = "suppression"
+
+type suppression struct {
+	file     string
+	line     int
+	col      int
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// collectSuppressions scans a package's comments for lint:ignore
+// markers.
+func collectSuppressions(pkg *Package) []*suppression {
+	var sups []*suppression
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, suppressPrefix) {
+					continue
+				}
+				tail := c.Text[len(suppressPrefix):]
+				if tail != "" && tail[0] != ' ' && tail[0] != '\t' {
+					continue // some other lint: directive
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(tail)
+				s := &suppression{file: pos.Filename, line: pos.Line, col: pos.Column}
+				if rest != "" {
+					s.analyzer = strings.Fields(rest)[0]
+					s.reason = strings.TrimSpace(strings.TrimPrefix(rest, s.analyzer))
+				}
+				sups = append(sups, s)
+			}
+		}
+	}
+	return sups
+}
+
+// applySuppressions drops suppressed diagnostics and appends the
+// suppression system's own findings: malformed markers, markers
+// naming unknown analyzers, and markers that suppressed nothing.
+func applySuppressions(diags []Diagnostic, sups []*suppression) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	valid := make([]*suppression, 0, len(sups))
+	var out []Diagnostic
+	for _, s := range sups {
+		switch {
+		case s.analyzer == "" || s.reason == "":
+			out = append(out, suppressionDiag(s, "malformed suppression: want //lint:ignore <analyzer> <reason>"))
+		case !known[s.analyzer]:
+			out = append(out, suppressionDiag(s, "suppression names unknown analyzer %q", s.analyzer))
+		default:
+			valid = append(valid, s)
+		}
+	}
+	for _, d := range diags {
+		if s := matchSuppression(valid, d); s != nil {
+			s.used = true
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, s := range valid {
+		if !s.used {
+			out = append(out, suppressionDiag(s, "unused suppression for %s: no diagnostic on this or the next line", s.analyzer))
+		}
+	}
+	return out
+}
+
+func matchSuppression(sups []*suppression, d Diagnostic) *suppression {
+	for _, s := range sups {
+		if s.analyzer == d.Analyzer && s.file == d.File && (d.Line == s.line || d.Line == s.line+1) {
+			return s
+		}
+	}
+	return nil
+}
+
+func suppressionDiag(s *suppression, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		File:     s.file,
+		Line:     s.line,
+		Col:      s.col,
+		Analyzer: suppressionAnalyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}

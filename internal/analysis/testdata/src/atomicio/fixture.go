@@ -1,0 +1,17 @@
+// Fixture: a package named atomicio is the implementation of the
+// temp-then-rename protocol itself and is exempt from atomicwrite —
+// nothing in here may be flagged.
+package atomicio
+
+import "os"
+
+func install(tmp, final string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}

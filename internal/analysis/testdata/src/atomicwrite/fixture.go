@@ -1,0 +1,45 @@
+// Fixture for the atomicwrite analyzer: raw os writes are flagged,
+// the atomicio path and non-destructive os calls are not.
+package aw
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/atomicio"
+)
+
+func bad(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want `os\.WriteFile truncates the destination`
+		return err
+	}
+	f, err := os.Create(path) // want `os\.Create truncates the destination`
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return os.Rename(path+".tmp", path) // want `os\.Rename installs a file outside`
+}
+
+func good(path string, data []byte) error {
+	if err := atomicio.WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	}); err != nil {
+		return err
+	}
+	// Reads, appends and temp files are out of scope: only the three
+	// destructive-install calls are banned.
+	if _, err := os.ReadFile(path); err != nil {
+		return err
+	}
+	if f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644); err == nil {
+		f.Close()
+	}
+	tmp, err := os.CreateTemp("", "fixture-*")
+	if err != nil {
+		return err
+	}
+	tmp.Close()
+	return os.Remove(tmp.Name())
+}

@@ -1,0 +1,26 @@
+// Fixture for the lockorder analyzer: statically-known table lists
+// declared to relstore Begin must be sorted ascending; dynamic lists
+// are out of static reach.
+package lo
+
+import (
+	"repro/internal/relstore"
+	"repro/internal/schema"
+)
+
+func bad(db *relstore.DB) {
+	db.Begin("versions", "checkouts")                     // want `tables declared to Begin out of order: "checkouts" sorts before "versions"`
+	db.Begin(schema.TableVersions, schema.TableCheckouts) // want `tables declared to Begin out of order`
+	db.Begin("checkouts", "checkouts")                    // want `duplicate table "checkouts"`
+	db.Begin("checkouts", "scripts", "implementations")   // want `"implementations" sorts before "scripts"`
+}
+
+func good(db *relstore.DB, tables []string, t string) {
+	db.Begin()
+	db.Begin("checkouts")
+	db.Begin("checkouts", "versions")
+	db.Begin(schema.TableCheckouts, schema.TableVersions)
+	db.Begin(tables...)      // spread: list not statically known
+	db.Begin("checkouts", t) // non-constant member hides the order
+	db.Begin(t, "aaa")       // ditto, even when a constant sorts first
+}

@@ -1,0 +1,40 @@
+// Fixture for the sentinelerr analyzer: module sentinels must be
+// matched with errors.Is; nil checks, local variables and foreign
+// sentinels keep their ==.
+package se
+
+import (
+	"errors"
+	"os"
+
+	"repro/internal/relstore"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ErrLocal is a sentinel of this (module-internal) fixture package.
+var ErrLocal = errors.New("se: local sentinel")
+
+func bad(err error) bool {
+	if err == transport.ErrTimeout { // want `comparison == ErrTimeout misses wrapped errors; use errors\.Is\(err, transport\.ErrTimeout\)`
+		return true
+	}
+	if wire.ErrChecksum == err { // want `comparison == ErrChecksum misses wrapped errors`
+		return true
+	}
+	if err != relstore.ErrNoTable { // want `comparison != ErrNoTable misses wrapped errors`
+		return false
+	}
+	return err == ErrLocal // want `comparison == ErrLocal misses wrapped errors`
+}
+
+func good(err error) bool {
+	if err == nil || errors.Is(err, transport.ErrTimeout) {
+		return true
+	}
+	if err == os.ErrNotExist { // foreign module: its own idioms apply
+		return true
+	}
+	var local error
+	return err == local // not a package-level sentinel
+}

@@ -1,0 +1,38 @@
+// Fixture for the wiretag analyzer, standing in for internal/wire
+// (the analyzer keys on the package name): every tag constant needs
+// both an Append-side reference and a Read-side switch arm.
+package wire
+
+const (
+	tagComplete   = 1 // appended and decoded: clean
+	tagEncodeOnly = 2 // want `wire tag tagEncodeOnly has no decode arm`
+	tagDecodeOnly = 3 // want `wire tag tagDecodeOnly is never written`
+	tagOrphan     = 4 // want `wire tag tagOrphan is never written` `wire tag tagOrphan has no decode arm`
+)
+
+// AppendThing writes the encode side. The case arms of its kind
+// switch are encode dispatch, not decode coverage.
+func AppendThing(dst []byte, kind int) []byte {
+	switch kind {
+	case 0:
+		dst = append(dst, tagComplete)
+	case 1:
+		dst = append(dst, tagEncodeOnly)
+	}
+	return dst
+}
+
+// Reader mirrors wire.Reader's shape.
+type Reader struct{ buf []byte }
+
+// Value dispatches on the tag byte — the decode side the analyzer
+// looks for.
+func (r *Reader) Value() int {
+	switch r.buf[0] {
+	case tagComplete:
+		return 0
+	case tagDecodeOnly:
+		return 1
+	}
+	return -1
+}

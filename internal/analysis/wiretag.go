@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WireTag enforces codec exhaustiveness on packages named "wire": a
+// value-tag constant (tag*) that is written by the Append side but
+// has no decode switch arm produces streams the Reader rejects as
+// corrupt — the classic add-a-type-forget-the-decoder bug, which only
+// surfaces when the first value of the new kind crosses a process
+// boundary or a restart replays it from the WAL. The symmetric hole
+// (a decode arm for a tag nothing encodes) is dead dispatch and
+// flagged too. The append side is any reference from a function whose
+// name starts with Append; the read side is a case arm of a switch
+// inside a function named Read* or a method of a *Reader type.
+var WireTag = &Analyzer{
+	Name: "wiretag",
+	Doc:  "every wire tag constant needs both an Append reference and a Read switch arm",
+	Run:  runWireTag,
+}
+
+func runWireTag(p *Pass) {
+	if p.Pkg.Name() != "wire" {
+		return
+	}
+	appended := make(map[types.Object]bool)
+	decoded := make(map[types.Object]bool)
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(fd.Name.Name, "Append"):
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok {
+						if c := wireTagConst(p, id); c != nil {
+							appended[c] = true
+						}
+					}
+					return true
+				})
+			case isWireReadSide(p, fd):
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					cc, ok := n.(*ast.CaseClause)
+					if !ok {
+						return true
+					}
+					for _, expr := range cc.List {
+						if id, ok := expr.(*ast.Ident); ok {
+							if c := wireTagConst(p, id); c != nil {
+								decoded[c] = true
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := p.Info.Defs[name]
+					if obj == nil || !isTagConst(obj) {
+						continue
+					}
+					if !appended[obj] {
+						p.Reportf(name.Pos(), "wire tag %s is never written: no reference from any Append* function", name.Name)
+					}
+					if !decoded[obj] {
+						p.Reportf(name.Pos(), "wire tag %s has no decode arm: no case in any Read-side switch — streams carrying it will be rejected as corrupt", name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// wireTagConst resolves id to a tag* constant of this package, nil
+// otherwise.
+func wireTagConst(p *Pass, id *ast.Ident) types.Object {
+	obj := p.Info.Uses[id]
+	if obj == nil || obj.Pkg() != p.Pkg || !isTagConst(obj) {
+		return nil
+	}
+	return obj
+}
+
+func isTagConst(obj types.Object) bool {
+	_, isConst := obj.(*types.Const)
+	return isConst && strings.HasPrefix(obj.Name(), "tag")
+}
+
+// isWireReadSide reports whether fd is decode-side code: a Read*
+// function or any method whose receiver type name contains "Reader".
+func isWireReadSide(p *Pass, fd *ast.FuncDecl) bool {
+	if strings.HasPrefix(fd.Name.Name, "Read") {
+		return true
+	}
+	fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	tn := receiverTypeName(fn)
+	return tn != nil && strings.Contains(tn.Name(), "Reader")
+}

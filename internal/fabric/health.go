@@ -207,6 +207,7 @@ func (s *Station) ProbeOnce(timeout time.Duration) {
 // look dead.
 func (s *Station) probe(pos int, addr string, timeout time.Duration) error {
 	var reply HeartbeatReply
+	//lint:ignore tracecall heartbeat probes are deliberately untraced: they fire every interval on every station and would drown the span rings in no-op control-plane spans
 	if err := s.hbPool(addr).CallWithTimeout(methodHeartbeat, struct{}{}, &reply, timeout); err != nil {
 		return err
 	}
@@ -300,6 +301,7 @@ func (s *Station) noteSuspect(pos int) {
 	if rootAddr != "" {
 		// Best effort: the root also discovers the failure through its
 		// own heartbeats, this just shortens the window.
+		//lint:ignore tracecall fire-and-forget failure report on the control plane; there is no request trace to continue and none worth starting for a hint the root re-verifies anyway
 		go s.pool(rootAddr).Call(methodReportDown, ReportDownRequest{Pos: pos}, nil)
 	}
 }

@@ -323,6 +323,7 @@ func (s *Station) CatchUp() (*CatchUpResult, error) {
 		return nil, fmt.Errorf("fabric: no root address in roster")
 	}
 	var cat CatalogReply
+	//lint:ignore tracecall rejoin catch-up runs before the station serves traced traffic; it is its own root operation, not a hop in some caller's traversal
 	if err := s.pool(rootAddr).Call(methodCatalog, struct{}{}, &cat); err != nil {
 		return nil, fmt.Errorf("fabric: fetching catch-up catalog: %w", err)
 	}
@@ -368,6 +369,7 @@ func (s *Station) CatchUp() (*CatchUpResult, error) {
 	} else {
 		for _, e := range missing {
 			var refs RefsReply
+			//lint:ignore tracecall rejoin catch-up runs before the station serves traced traffic; it is its own root operation, not a hop in some caller's traversal
 			if err := s.pool(rootAddr).Call(methodRefs, RefsRequest{URL: e.URL}, &refs); err != nil {
 				return out, fmt.Errorf("fabric: pulling reference closure for %s: %w", e.URL, err)
 			}

@@ -64,6 +64,7 @@ func (s *Station) Trace(id uint64) (*TraceReply, error) {
 		return nil, fmt.Errorf("fabric: no root address in roster")
 	}
 	var reply TraceReply
+	//lint:ignore tracecall trace collection is deliberately untraced so reading the span rings never writes new spans into them (see scatterTrace)
 	if err := s.pool(rootAddr).Call(methodTrace, TraceRequest{ID: id}, &reply); err != nil {
 		return nil, fmt.Errorf("fabric: forwarding trace collection to root: %w", err)
 	}
@@ -169,6 +170,7 @@ func (s *Station) callTraceCollect(addr string, req TraceRequest, reply *TraceRe
 		if attempt > 0 {
 			time.Sleep(pushRetryDelay)
 		}
+		//lint:ignore tracecall trace collection is deliberately untraced so reading the span rings never writes new spans into them (see scatterTrace)
 		err = s.pool(addr).CallWithTimeout(methodTrace, req, reply, searchCallTimeout)
 		if err == nil || !transport.Unreachable(err) {
 			return err

@@ -3,10 +3,11 @@ package loadgen
 import (
 	"encoding/json"
 	"fmt"
-	"os"
+	"io"
 	"sort"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/cluster"
 )
 
@@ -150,11 +151,16 @@ func ReportFileName(profileName string) string {
 }
 
 // WriteReport marshals the report to path (indent + trailing newline,
-// like the other BENCH artifacts).
+// like the other BENCH artifacts). The write is temp-then-rename so a
+// run killed mid-report never leaves a torn JSON artifact for CI to
+// upload — readers see the previous complete report or the new one.
 func WriteReport(path string, r *Report) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(append(data, '\n'))
+		return err
+	})
 }
