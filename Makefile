@@ -19,8 +19,9 @@ fmt-check:
 # Project linter: webdoclint type-checks every package and enforces
 # the invariants go vet cannot see — atomic-write discipline, lock
 # acquisition order, errors.Is over sentinel ==, trace propagation in
-# handler scopes, and wire-tag encode/decode coverage. Zero
-# dependencies; the only waivers are reasoned //lint:ignore comments.
+# handler scopes, route-around classification in tree fan-outs, and
+# wire-tag encode/decode coverage. Zero dependencies; the only
+# waivers are reasoned //lint:ignore comments.
 lint:
 	$(GO) run ./cmd/webdoclint ./...
 
@@ -32,9 +33,10 @@ test:
 # fallback, torn-tail replay, BLOB-sidecar generation coupling, and
 # the content index's sidecar/rebuild recovery (missing, stale and
 # corrupt search-<gen> files) plus its concurrent index/query stress.
-# internal/obs rides along: its span ring and histogram are written to
-# from every RPC goroutine, so the race detector is the proof they
-# are safe to leave always-on. internal/wire, internal/blob and
+# internal/obs rides along: its span ring, histogram and event
+# journal ring are written to from every RPC goroutine, so the race
+# detector is the proof they are safe to leave always-on.
+# internal/wire, internal/blob and
 # internal/loadgen joined the matrix with the binary codec and load
 # harness work: codec buffers, blob generation handoff and the load
 # recorder's per-worker rings all see concurrent writers.
@@ -68,15 +70,16 @@ bench:
 bench-check:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Tracing-overhead gate: the broadcast lecture cycle with observability
-# on must stay within 5% of the same cycle with every observer
-# disabled. CI runs the pair at OBS_BENCHTIME=1x as a compile-and-run
+# Observability-overhead gate: the broadcast lecture cycle with
+# observability on must stay within 5% of the same cycle with every
+# observer disabled, and likewise with the event journal on versus
+# disabled. CI runs the pairs at OBS_BENCHTIME=1x as a compile-and-run
 # check (one socket-bound iteration is too noisy to judge 5%); raise
 # OBS_BENCHTIME (e.g. 50x) locally or in a nightly job to measure the
 # ratio for real.
 OBS_BENCHTIME ?= 1x
 obs-overhead:
-	$(GO) test -run '^$$' -bench '^BenchmarkFabricBroadcastObs' -benchtime $(OBS_BENCHTIME) .
+	$(GO) test -run '^$$' -bench '^BenchmarkFabricBroadcast(Obs|Events)' -benchtime $(OBS_BENCHTIME) .
 
 # A ~10-second compressed load run against a self-hosted 3-station
 # fabric: webdocload replays examples/loadprofiles/ci-smoke.yaml and

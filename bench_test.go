@@ -645,6 +645,68 @@ func benchObsFabric(b *testing.B, obsOn bool) {
 func BenchmarkFabricBroadcastObsOn(b *testing.B)  { benchObsFabric(b, true) }
 func BenchmarkFabricBroadcastObsOff(b *testing.B) { benchObsFabric(b, false) }
 
+// benchEventsFabric is benchObsFabric's sibling for the event
+// journal: tracing stays on in both variants, and the only variable
+// is whether each station's bounded event ring admits records.
+// The CI overhead gate runs the pair beside the Obs pair under the
+// same 5% budget.
+func benchEventsFabric(b *testing.B, eventsOn bool) {
+	newStore := func() *docdb.Store {
+		store, err := docdb.Open(relstore.NewDB(), blob.NewStore())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return store
+	}
+	root, err := fabric.NewRoot(newStore(), "127.0.0.1:0", 3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer root.Close()
+	stations := []*fabric.Station{root}
+	for i := 2; i <= 13; i++ {
+		st, err := fabric.Join(newStore(), "127.0.0.1:0", root.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		stations = append(stations, st)
+	}
+	if !eventsOn {
+		for _, st := range stations {
+			st.Node().Observer().DisableEventJournal()
+		}
+	}
+	spec := workload.DefaultSpec(1)
+	spec.Pages = 6
+	spec.MediaScaleDown = 16384
+	if _, err := workload.BuildCourse(root.Store(), spec); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := root.Store().NewInstance(spec.URL, 1, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := root.Broadcast(spec.URL, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sr := range res.Stations {
+			if sr.Err != "" {
+				b.Fatalf("station %d: %s", sr.Pos, sr.Err)
+			}
+		}
+		if _, err := root.EndLecture(spec.URL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFabricBroadcastEventsOn(b *testing.B)  { benchEventsFabric(b, true) }
+func BenchmarkFabricBroadcastEventsOff(b *testing.B) { benchEventsFabric(b, false) }
+
 // ---------------------------------------------------------------------------
 // Relstore concurrency benchmarks: the per-table engine against an
 // emulation of the seed's single database-wide lock, over parallel

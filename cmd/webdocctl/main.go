@@ -18,6 +18,8 @@
 //	webdocctl -addr 127.0.0.1:7070 evict 3
 //	webdocctl -addr 127.0.0.1:7072 -k 5 search watermark frequency
 //	webdocctl -addr 127.0.0.1:7070 trace 4a1f93c2d07b6e55
+//	webdocctl -addr 127.0.0.1:7070 events
+//	webdocctl -addr 127.0.0.1:7070 -severity error -follow events
 //	webdocctl -addr 127.0.0.1:7070 top
 //
 // Every verb takes the station through the global -addr flag and
@@ -56,6 +58,12 @@ func main() {
 	refsOnly := flag.Bool("refs", false, "broadcast: push document references instead of full instances")
 	topK := flag.Int("k", 10, "search: maximum hits to return")
 	phrase := flag.Bool("phrase", false, "search: require the terms as a consecutive phrase")
+	var ef eventFlags
+	flag.Uint64Var(&ef.sinceSeq, "since-seq", 0, "events: only events with a per-station sequence past this cursor")
+	flag.StringVar(&ef.category, "category", "", "events: only this category (health, repair, membership, checkpoint)")
+	flag.StringVar(&ef.severity, "severity", "", "events: minimum severity (info, warn, error)")
+	flag.StringVar(&ef.trace, "trace", "", "events: only events correlated to this hex trace ID")
+	flag.BoolVar(&ef.follow, "follow", false, "events: poll the fabric and stream new events as they happen")
 	flag.BoolVar(&jsonOut, "json", false, "print the raw typed reply as indented JSON")
 	flag.Parse()
 	args := flag.Args()
@@ -66,8 +74,8 @@ func main() {
 	// The fabric verbs use the typed administrative client; everything
 	// else speaks the base station protocol.
 	switch args[0] {
-	case "topology", "broadcast", "resolve", "migrate", "health", "evict", "search", "trace":
-		runFabric(*addr, args, *refsOnly, *topK, *phrase)
+	case "topology", "broadcast", "resolve", "migrate", "health", "evict", "search", "trace", "events":
+		runFabric(*addr, args, *refsOnly, *topK, *phrase, ef)
 		return
 	}
 
@@ -171,8 +179,34 @@ func main() {
 	}
 }
 
+// eventFlags carries the `events` verb's filter and polling options.
+type eventFlags struct {
+	sinceSeq uint64
+	category string
+	severity string
+	trace    string
+	follow   bool
+}
+
+// filter translates the flags into the RPC's typed filter.
+func (ef eventFlags) filter() obs.EventFilter {
+	f := obs.EventFilter{
+		SinceSeq:    ef.sinceSeq,
+		Category:    ef.category,
+		MinSeverity: obs.ParseSeverity(ef.severity),
+	}
+	if ef.trace != "" {
+		id, err := strconv.ParseUint(ef.trace, 16, 64)
+		if err != nil || id == 0 {
+			fail("events: bad trace ID %q (want the hex ID an op reply printed)", ef.trace)
+		}
+		f.TraceID = id
+	}
+	return f
+}
+
 // runFabric executes one distribution-fabric verb against a station.
-func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool) {
+func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool, ef eventFlags) {
 	admin := fabric.DialAdmin(addr)
 	defer admin.Close()
 	switch args[0] {
@@ -330,10 +364,22 @@ func runFabric(addr string, args []string, refsOnly bool, topK int, phrase bool)
 		if err != nil {
 			fail("trace: %v", err)
 		}
-		if emit(res) {
+		// Best-effort: the journal events correlated to this trace
+		// (grafts mid-broadcast, mostly) interleave into the hop tree.
+		var events []obs.Event
+		if evs, err := admin.Events(obs.EventFilter{TraceID: id}); err == nil {
+			events = evs.Events
+		}
+		if jsonOut {
+			emit(struct {
+				Trace  fabric.TraceReply
+				Events []obs.Event
+			}{res, events})
 			return
 		}
-		printTrace(res)
+		printTrace(res, events)
+	case "events":
+		runEvents(admin, ef)
 	case "health":
 		health, err := admin.Health()
 		if err != nil {
@@ -421,10 +467,91 @@ func printStats(s cluster.StatsReply) {
 	}
 }
 
+// eventsFollowInterval paces the `events -follow` polling loop.
+const eventsFollowInterval = time.Second
+
+// runEvents executes the events verb: one merged fabric-wide timeline
+// query, or — with -follow — a polling loop that streams only news.
+func runEvents(admin *fabric.Admin, ef eventFlags) {
+	f := ef.filter()
+	if !ef.follow {
+		res, err := admin.Events(f)
+		if err != nil {
+			fail("events: %v", err)
+		}
+		if emit(res) {
+			return
+		}
+		printEvents(res)
+		return
+	}
+	// Follow mode polls with the flag's cursor and advances a
+	// per-station cursor client-side: each station's journal has its
+	// own monotonic sequence, so one fabric-wide floor cannot express
+	// "everything I have not seen yet" (and a rejoined station restarts
+	// its sequence from 1). The journals are bounded rings, so
+	// re-reading them each poll is cheap.
+	cursors := make(map[int]uint64)
+	for {
+		res, err := admin.Events(f)
+		if err != nil {
+			fail("events: %v", err)
+		}
+		var fresh []obs.Event
+		for _, e := range res.Events {
+			if cur, ok := cursors[e.Station]; !ok || e.Seq > cur {
+				fresh = append(fresh, e)
+			}
+		}
+		obs.SortEvents(fresh)
+		for _, e := range fresh {
+			if e.Seq > cursors[e.Station] {
+				cursors[e.Station] = e.Seq
+			}
+			fmt.Println(formatEvent(e))
+		}
+		time.Sleep(eventsFollowInterval)
+	}
+}
+
+// formatEvent renders one journal event as a timeline line.
+func formatEvent(e obs.Event) string {
+	line := fmt.Sprintf("%s  station %-3d #%-5d %-5s %-10s %s",
+		e.Time.Format("15:04:05.000000"), e.Station, e.Seq, e.Severity, e.Category,
+		strings.TrimPrefix(e.Line(), "event="))
+	if e.TraceID != 0 {
+		line += "  (trace " + obs.FormatTraceID(e.TraceID) + ")"
+	}
+	return line
+}
+
+// printEvents renders a merged fabric-wide timeline.
+func printEvents(res fabric.EventsReply) {
+	dead := 0
+	for _, sr := range res.Stations {
+		if sr.Err != "" {
+			dead++
+		}
+	}
+	fmt.Printf("%d event(s) from %d station(s), %d unreachable\n",
+		len(res.Events), len(res.Stations)-dead, dead)
+	for _, e := range res.Events {
+		fmt.Println("  " + formatEvent(e))
+	}
+	for _, sr := range res.Stations {
+		if sr.Err != "" {
+			fmt.Printf("  station %-3d UNREACHABLE %s\n", sr.Pos, sr.Err)
+		}
+	}
+}
+
 // printTrace renders a collected trace as its hop tree: spans indexed
 // by SpanID, children nested under their parent hop, orphans (parent
 // span lost to ring eviction or a dead station) promoted to roots.
-func printTrace(res fabric.TraceReply) {
+// Journal events correlated to the trace interleave under the hop
+// whose station and time window they fall in; the rest (for example an
+// event on a station whose span was evicted) trail the tree.
+func printTrace(res fabric.TraceReply, events []obs.Event) {
 	fmt.Printf("trace %s: %d span(s)\n", obs.FormatTraceID(res.ID), len(res.Spans))
 	byID := make(map[uint64]obs.Span, len(res.Spans))
 	for _, sp := range res.Spans {
@@ -439,6 +566,7 @@ func printTrace(res fabric.TraceReply) {
 			roots = append(roots, sp)
 		}
 	}
+	consumed := make([]bool, len(events))
 	var render func(sp obs.Span, depth int)
 	render = func(sp obs.Span, depth int) {
 		indent := strings.Repeat("  ", depth+1)
@@ -451,12 +579,33 @@ func printTrace(res fabric.TraceReply) {
 		for _, note := range sp.Notes {
 			fmt.Printf("%s  ! %s\n", indent, note)
 		}
+		end := sp.Start.Add(sp.Duration)
+		for i, e := range events {
+			if consumed[i] || e.Station != sp.Station || e.Time.Before(sp.Start) || e.Time.After(end) {
+				continue
+			}
+			consumed[i] = true
+			fmt.Printf("%s  * event %s %s\n", indent, e.Name,
+				strings.TrimPrefix(e.Line(), "event="+e.Name))
+		}
 		for _, kid := range children[sp.SpanID] {
 			render(kid, depth+1)
 		}
 	}
 	for _, sp := range roots {
 		render(sp, 0)
+	}
+	var leftovers []obs.Event
+	for i, e := range events {
+		if !consumed[i] {
+			leftovers = append(leftovers, e)
+		}
+	}
+	if len(leftovers) > 0 {
+		fmt.Println("  correlated events outside the collected hops:")
+		for _, e := range leftovers {
+			fmt.Println("  " + formatEvent(e))
+		}
 	}
 	for _, sr := range res.Stations {
 		if sr.Err != "" {
@@ -569,7 +718,11 @@ commands:
   health               show per-station liveness (root view is authoritative)
   evict POS            force-mark a station dead on the root (heartbeats revive it if it still answers)
   search TERM...       federation-wide full-text query ([-k N] hits, [-phrase] exact phrase)
-  trace HEXID          reconstruct an op's hop tree fabric-wide (ID printed by broadcast/resolve/migrate/search)
+  trace HEXID          reconstruct an op's hop tree fabric-wide, with correlated journal
+                       events interleaved (ID printed by broadcast/resolve/migrate/search)
+  events               merged fabric-wide event timeline from every live station's journal
+                       ([-since-seq N] [-category C] [-severity S] [-trace HEXID] filters;
+                       [-follow] polls and streams only new events)
   top                  per-method latency histograms on the station, hottest first
 flags apply to every command; -json prints the raw typed reply as indented JSON`)
 	os.Exit(2)

@@ -266,7 +266,7 @@ func main() {
 		ckptWG.Add(1)
 		go func() {
 			defer ckptWG.Done()
-			runCheckpointer(store, rel, *ckptEvery, *ckptBytes, stopCkpt, evSink)
+			runCheckpointer(store, rel, *ckptEvery, *ckptBytes, stopCkpt, statsNode.Observer(), evSink)
 		}()
 	}
 
@@ -299,9 +299,10 @@ func main() {
 
 // runCheckpointer polls the WAL tail once a second and checkpoints
 // when either trigger fires: the tail crossing the byte budget, or the
-// interval elapsing since the last checkpoint. events, when set,
-// receives a structured record per installed checkpoint (-log-events).
-func runCheckpointer(store *docdb.Store, rel *relstore.DB, every time.Duration, maxBytes int64, stop <-chan struct{}, events obs.EventSink) {
+// interval elapsing since the last checkpoint. Each installed
+// checkpoint lands in the station's event journal (queryable over the
+// Events RPC) and, when -log-events set a sink, on the process log.
+func runCheckpointer(store *docdb.Store, rel *relstore.DB, every time.Duration, maxBytes int64, stop <-chan struct{}, o *obs.Observer, events obs.EventSink) {
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
 	last := time.Now()
@@ -322,8 +323,9 @@ func runCheckpointer(store *docdb.Store, rel *relstore.DB, every time.Duration, 
 				continue
 			}
 			log.Printf("webdocd: checkpoint generation %d (%d bytes, wal seq %d)", info.Gen, info.Bytes, info.Seq)
+			e := o.Emit(obs.NewEvent("checkpoint-install", "gen", info.Gen, "bytes", info.Bytes, "wal-seq", info.Seq))
 			if events != nil {
-				events(obs.Event("checkpoint-install", "gen", info.Gen, "bytes", info.Bytes, "wal-seq", info.Seq))
+				events(e.Line())
 			}
 		}
 	}
@@ -341,6 +343,7 @@ func startDebugServer(addr string, node *cluster.Node) {
 		addr = "127.0.0.1" + addr
 	}
 	expvar.Publish("station", expvar.Func(func() any { return node.StatsNow() }))
+	expvar.Publish("station_events", expvar.Func(func() any { return node.Observer().EventCounts() }))
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

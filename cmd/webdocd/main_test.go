@@ -17,6 +17,7 @@ import (
 	"repro/internal/docdb"
 	"repro/internal/fabric"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/webtest"
 	"repro/internal/workload"
@@ -531,6 +532,145 @@ func TestChaosKilledStationsMidBroadcastRejoin(t *testing.T) {
 		if got := stationForm(t, joiners[pos-2].addr, spec.URL); got != simObj.Form {
 			t.Errorf("station %d: form fabric=%q sim=%q", pos, got, simObj.Form)
 		}
+	}
+}
+
+// TestChaosEventJournalNarratesKillRejoinCheckpoint kills a real
+// daemon with SIGKILL and reads the incident back through the Events
+// RPC: the fabric-wide journal must narrate the whole lifecycle —
+// suspicion on the hop that discovered the corpse, the graft around
+// it, the root's down confirmation, the rejoin grant, and the revived
+// station's first checkpoint — in causal order, queryable from a
+// station that observed none of it firsthand.
+func TestChaosEventJournalNarratesKillRejoinCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := daemonBinary(t)
+	spec := workload.DefaultSpec(1)
+
+	// -heartbeat 0: no background sweep, so every journal entry below
+	// is attributable to the suspicion path the broadcast triggers —
+	// the narrative under test — not to a racing prober.
+	rootAddr, _ := startDaemon(t, bin,
+		"-addr", "127.0.0.1:0", "-root", "-m", "2", "-watermark", "0",
+		"-seed-course", "3", "-heartbeat", "0")
+	dataDir := filepath.Join(t.TempDir(), "station2.d")
+	_, victimCmd := startDaemon(t, bin,
+		"-addr", "127.0.0.1:0", "-join", rootAddr, "-data", dataDir)
+	// Positions 3..5 (joins are sequential; the victim took 2).
+	bystanders := make([]string, 3)
+	for i := range bystanders {
+		addr, _ := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-join", rootAddr)
+		bystanders[i] = addr
+	}
+	admin := fabric.DialAdmin(rootAddr)
+	defer admin.Close()
+	webtest.Eventually(t, 30*time.Second, "all five stations in the roster", func() bool {
+		top, err := admin.Topology()
+		return err == nil && top.N == 5
+	})
+
+	// SIGKILL the interior station (position 2, children 4 and 5), then
+	// broadcast: the root's fan-out discovers the corpse live.
+	if err := victimCmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victimCmd.Wait()
+	if _, err := admin.Broadcast(spec.URL, false); err != nil {
+		t.Fatalf("broadcast across the kill: %v", err)
+	}
+	webtest.Eventually(t, 30*time.Second, "root health to confirm station 2 dead",
+		healthShows(admin, 2))
+
+	// Query through a bystander: the Events entry forwards to the root
+	// and scatters tree-wide, so the narrative must be visible from a
+	// station that observed none of it firsthand.
+	relay := fabric.DialAdmin(bystanders[0])
+	defer relay.Close()
+	waitForEvent := func(name string) {
+		t.Helper()
+		webtest.Eventually(t, 30*time.Second, fmt.Sprintf("journal to record %q", name), func() bool {
+			reply, err := relay.Events(obs.EventFilter{})
+			if err != nil {
+				return false
+			}
+			for _, e := range reply.Events {
+				if e.Name == name {
+					return true
+				}
+			}
+			return false
+		})
+	}
+	for _, name := range []string{"suspect", "graft", "down-confirmed"} {
+		waitForEvent(name)
+	}
+
+	// Rejoin: the victim restarts on a fresh socket, reclaims position
+	// 2 and checkpoints on a timer; the grant (root journal) and the
+	// install (the rejoined station's own journal) both surface.
+	startDaemon(t, bin,
+		"-addr", "127.0.0.1:0", "-join", rootAddr, "-rejoin", "-pos", "2",
+		"-data", dataDir, "-checkpoint-every", "300ms")
+	waitForEvent("rejoin-grant")
+	waitForEvent("checkpoint-install")
+
+	// One merged snapshot carries the lifecycle in causal order: the
+	// root's entries share one journal, so their sequence numbers are
+	// the order things actually happened.
+	reply, err := relay.Events(obs.EventFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstAtRoot := map[string]uint64{}
+	checkpointStation := 0
+	for _, e := range reply.Events {
+		if e.Station == 1 {
+			if _, ok := firstAtRoot[e.Name]; !ok {
+				firstAtRoot[e.Name] = e.Seq
+			}
+		}
+		if e.Name == "checkpoint-install" {
+			checkpointStation = e.Station
+		}
+	}
+	order := []string{"suspect", "graft", "down-confirmed", "rejoin-grant"}
+	for i := 1; i < len(order); i++ {
+		prev, ok1 := firstAtRoot[order[i-1]]
+		next, ok2 := firstAtRoot[order[i]]
+		if !ok1 || !ok2 || prev >= next {
+			t.Errorf("root journal out of causal order: %s seq %d (present %v) vs %s seq %d (present %v)",
+				order[i-1], prev, ok1, order[i], next, ok2)
+		}
+	}
+	if checkpointStation != 2 {
+		t.Errorf("checkpoint-install journaled at station %d, want the rejoined station 2", checkpointStation)
+	}
+
+	// Netsim parity on the same snapshot: the simulated collection over
+	// the healed 5-station tree with the live journals' footprint
+	// gathers the same totals.
+	perStation := make(map[int]int)
+	for _, e := range reply.Events {
+		perStation[e.Station]++
+	}
+	sim, err := cluster.New(cluster.Config{
+		Stations: 5, M: 2, UplinkBps: 1.25e6, Latency: 5 * time.Millisecond,
+		Watermark: 0, Mode: netsim.Sequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRep, err := sim.CollectEvents(3, func(p int) int { return perStation[p] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRep.Events != len(reply.Events) {
+		t.Errorf("simulator gathered %d events, live collection %d", simRep.Events, len(reply.Events))
+	}
+	if simRep.Covered != 5 {
+		t.Errorf("simulator covered %d stations, want 5", simRep.Covered)
 	}
 }
 

@@ -89,6 +89,15 @@ func main() {
 		fail(fmt.Errorf("scraping station stats: %w", err))
 	}
 	report := loadgen.BuildReport(profile, col, wall, stats)
+	if !report.Pass && len(report.SlowTraces) > 0 {
+		// The run failed an SLO: resolve the slow exemplars' hop trees
+		// and correlated journal events while the fabric is still up,
+		// so the report ships the debugging evidence, not just IDs.
+		if logf != nil {
+			logf("resolving %d slow-trace exemplar(s) before teardown", len(report.SlowTraces))
+		}
+		report.ResolvedTraces = loadgen.ResolveSlowTraces(target, report.SlowTraces)
+	}
 
 	path := *out
 	if path == "" {

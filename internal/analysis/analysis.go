@@ -68,6 +68,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicWrite,
 		LockOrder,
+		RouteAround,
 		SentinelErr,
 		TraceCall,
 		WireTag,

@@ -13,7 +13,7 @@
 // position-tagged diagnostic sink. Run applies a set of analyzers to a
 // set of packages and returns the merged, position-sorted diagnostics.
 //
-// The five project analyzers encode invariants the rest of the
+// The six project analyzers encode invariants the rest of the
 // codebase relies on but go vet cannot see:
 //
 //   - atomicwrite: no raw os.Create, os.WriteFile or os.Rename outside
@@ -21,6 +21,10 @@
 //   - lockorder: statically-known table lists passed to relstore's
 //     Begin are sorted ascending, mirroring the runtime lock hierarchy
 //     so deadlock-shaped declarations are caught before they run.
+//   - routearound: every route-around classifier handed to the
+//     fabric's fanOutTree is grounded in transport.Unreachable —
+//     grafting on any other error class re-delivers to subtrees whose
+//     relay already ran.
 //   - sentinelerr: comparisons against the module's Err* sentinels use
 //     errors.Is, not == or !=, so wrapped errors keep matching.
 //   - tracecall: inside traced scopes (CtxHandler registrations,

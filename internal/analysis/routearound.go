@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RouteAround guards the tree-repair invariant (PR 10): fanOutTree's
+// routeAround callback decides which failed child calls are repaired
+// by grafting the child's subtree onto the caller. That decision is
+// only safe when it is grounded in transport.Unreachable — grafting
+// on an application error double-delivers to a subtree whose relay
+// already ran, and refusing to classify unreachability at all turns
+// every dead interior station into a lost subtree. Every classifier
+// handed to fanOutTree must therefore consult transport.Unreachable:
+// directly, through a named predicate that does (canRouteAround), or
+// by passing through a parameter whose own call sites were checked.
+// A deliberately different policy takes a reasoned
+// //lint:ignore routearound <why>.
+var RouteAround = &Analyzer{
+	Name: "routearound",
+	Doc:  "fanOutTree route-around classifiers must consult transport.Unreachable",
+	Run:  runRouteAround,
+}
+
+func runRouteAround(p *Pass) {
+	// Same-package function bodies, for verifying named classifiers.
+	bodies := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					bodies[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || calleeName(call) != "fanOutTree" {
+				return true
+			}
+			arg := classifierArg(p, call)
+			if arg == nil {
+				return true
+			}
+			if !classifiesUnreachable(p, bodies, arg) {
+				p.Reportf(arg.Pos(), "fanOutTree route-around classifier never consults transport.Unreachable; grafting on other errors re-delivers to subtrees whose relay already ran")
+			}
+			return true
+		})
+	}
+}
+
+// calleeName extracts the called function's bare name.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// classifierArg finds the call's func(error) bool argument — the
+// route-around classifier, whatever its position.
+func classifierArg(p *Pass, call *ast.CallExpr) ast.Expr {
+	for _, arg := range call.Args {
+		tv, ok := p.Info.Types[arg]
+		if !ok {
+			continue
+		}
+		sig, ok := tv.Type.(*types.Signature)
+		if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+			continue
+		}
+		if !types.Identical(sig.Params().At(0).Type(), types.Universe.Lookup("error").Type()) {
+			continue
+		}
+		res, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+		if ok && res.Kind() == types.Bool {
+			return arg
+		}
+	}
+	return nil
+}
+
+// classifiesUnreachable reports whether the classifier expression is
+// grounded in transport.Unreachable.
+func classifiesUnreachable(p *Pass, bodies map[*types.Func]*ast.FuncDecl, arg ast.Expr) bool {
+	if lit, ok := arg.(*ast.FuncLit); ok {
+		return referencesUnreachable(p, lit.Body)
+	}
+	var obj types.Object
+	switch a := arg.(type) {
+	case *ast.Ident:
+		obj = p.ObjectOf(a)
+	case *ast.SelectorExpr:
+		obj = p.ObjectOf(a.Sel)
+	}
+	switch o := obj.(type) {
+	case *types.Var:
+		// A pass-through: the classifier was chosen by this function's
+		// caller, and that call site carries its own check.
+		return true
+	case *types.Func:
+		if isUnreachableFunc(o) {
+			return true
+		}
+		if fd := bodies[o]; fd != nil {
+			return referencesUnreachable(p, fd.Body)
+		}
+	}
+	return false
+}
+
+// referencesUnreachable reports whether the body mentions
+// transport.Unreachable anywhere.
+func referencesUnreachable(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := p.ObjectOf(sel.Sel).(*types.Func); ok && isUnreachableFunc(fn) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isUnreachableFunc recognizes transport.Unreachable itself.
+func isUnreachableFunc(fn *types.Func) bool {
+	return fn.Name() == "Unreachable" && fn.Pkg() != nil && fn.Pkg().Name() == "transport"
+}

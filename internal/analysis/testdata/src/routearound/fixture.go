@@ -1,0 +1,52 @@
+// Fixture for the routearound analyzer: every classifier handed to a
+// fanOutTree call must be grounded in transport.Unreachable — passed
+// directly, via a named predicate that consults it, or as a
+// pass-through parameter whose own call sites are checked.
+package ra
+
+import "repro/internal/transport"
+
+type agg struct{}
+
+type station struct{}
+
+func (s *station) fanOutTree(pos int, routeAround func(error) bool, send func(addr string) (agg, error)) agg {
+	if routeAround(nil) {
+		a, _ := send("x")
+		return a
+	}
+	return agg{}
+}
+
+func send(addr string) (agg, error) { return agg{}, nil }
+
+// canRouteAround consults transport.Unreachable: accepted as a named
+// classifier.
+func canRouteAround(err error) bool {
+	return transport.Unreachable(err)
+}
+
+// anyError grafts on every failure without classifying
+// unreachability.
+func anyError(err error) bool { return err != nil }
+
+func (s *station) pushes() {
+	s.fanOutTree(1, canRouteAround, send)
+	s.fanOutTree(1, transport.Unreachable, send)
+	s.fanOutTree(1, func(err error) bool { return transport.Unreachable(err) }, send)
+	s.fanOutTree(1, anyError, send)                             // want `route-around classifier never consults transport\.Unreachable`
+	s.fanOutTree(1, func(err error) bool { return true }, send) // want `route-around classifier never consults transport\.Unreachable`
+}
+
+// relay passes its parameter through: the classifier was chosen (and
+// checked) at relay's own call sites.
+func (s *station) relay(routeAround func(error) bool) agg {
+	return s.fanOutTree(1, routeAround, send)
+}
+
+// neverGraft is a deliberately different policy with a reasoned
+// waiver: suppressed, and the suppression counts as used.
+func (s *station) neverGraft() agg {
+	//lint:ignore routearound this fan-out must surface every failure to the operator instead of repairing around it
+	return s.fanOutTree(1, func(err error) bool { return false }, send)
+}

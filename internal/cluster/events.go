@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Simulated fabric-wide event collection: the discrete-event model of
+// fabric.Station.Events's scatter-gather, so the live journal
+// collection's cost can be pinned against controlled simulated time
+// the same way trace, search, broadcast and resolve are. The shape is
+// trace collection's — ride to the root, scatter one small filter
+// request per tree edge, gather replies up the live-grafted tree —
+// and shares its structural property: event sets concatenate instead
+// of merging to a bounded top-k, so an edge near the root carries its
+// whole subtree's matching events. Collection traffic grows with the
+// incident's footprint, which is why journals are bounded rings and
+// requests carry a since-seq cursor.
+
+// Cost model of one collection hop: a request carries a filter
+// (cursor, category, severity, trace ID — small, fixed); a reply
+// costs a fixed overhead plus a per-event share (name, category,
+// timing, key/value pairs).
+const (
+	eventRequestBytes = 96
+	eventRecordBytes  = 160
+)
+
+// eventReplyBytes sizes a reply message carrying n events.
+func eventReplyBytes(n int) int64 {
+	return eventRequestBytes + int64(n)*eventRecordBytes
+}
+
+// EventCollectReport summarizes one simulated collection.
+type EventCollectReport struct {
+	// Events is the total number of journal events gathered (down
+	// stations' journals are unreadable until they rejoin).
+	Events int
+	// Covered counts the stations that answered the scatter.
+	Covered int
+	// Latency is the simulated time from issuing the collection at the
+	// requesting station to the merged timeline arriving back.
+	Latency time.Duration
+	// WireBytes is the total traffic the collection moved.
+	WireBytes int64
+}
+
+// CollectEvents models collecting the filtered journal timeline
+// fabric-wide from a requesting station. eventCount reports how many
+// events each station's journal contributes under the filter (the
+// simulator has no real journals; the caller supplies the incident's
+// footprint). The requesting station must be live; the root cannot
+// fail.
+func (c *Cluster) CollectEvents(pos int, eventCount func(p int) int) (*EventCollectReport, error) {
+	st, err := c.Station(pos)
+	if err != nil {
+		return nil, err
+	}
+	if c.down[pos] {
+		return nil, fmt.Errorf("%w: station %d is down", ErrNoStation, pos)
+	}
+	start := c.sim.Now()
+	bytesBefore := c.sim.Stats().TotalBytes
+	rep := &EventCollectReport{}
+	var failure error
+
+	// gather collects one station's events and its (live-grafted)
+	// subtree's, delivering the concatenated count and completion time.
+	var gather func(p int, done func(events int, at time.Duration))
+	gather = func(p int, done func(int, time.Duration)) {
+		local := eventCount(p)
+		rep.Covered++
+		kids, err := c.liveChildren(p)
+		if err != nil {
+			failure = err
+			done(0, c.sim.Now())
+			return
+		}
+		if len(kids) == 0 {
+			done(local, c.sim.Now())
+			return
+		}
+		total := local
+		pending := len(kids)
+		var latest time.Duration
+		for _, kid := range kids {
+			kid := kid
+			err := c.sim.Transfer(c.ids[p-1], c.ids[kid-1], eventRequestBytes, func(time.Duration) {
+				gather(kid, func(kidEvents int, _ time.Duration) {
+					err := c.sim.Transfer(c.ids[kid-1], c.ids[p-1], eventReplyBytes(kidEvents), func(at time.Duration) {
+						total += kidEvents
+						if at > latest {
+							latest = at
+						}
+						pending--
+						if pending == 0 {
+							done(total, latest)
+						}
+					})
+					if err != nil {
+						failure = err
+					}
+				})
+			})
+			if err != nil {
+				failure = err
+				return
+			}
+		}
+	}
+
+	finish := func(events int, at time.Duration) {
+		rep.Events = events
+		rep.Latency = at - start
+	}
+	if pos == 1 {
+		gather(1, finish)
+	} else {
+		// The collection rides to the root first, like every federation
+		// query.
+		err := c.sim.Transfer(c.ids[st.Pos-1], c.ids[0], eventRequestBytes, func(time.Duration) {
+			gather(1, func(events int, _ time.Duration) {
+				err := c.sim.Transfer(c.ids[0], c.ids[st.Pos-1], eventReplyBytes(events), func(at time.Duration) {
+					finish(events, at)
+				})
+				if err != nil {
+					failure = err
+				}
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.sim.Run()
+	if failure != nil {
+		return nil, failure
+	}
+	rep.WireBytes = c.sim.Stats().TotalBytes - bytesBefore
+	return rep, nil
+}

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestCollectEventsGathersWholeTree(t *testing.T) {
+	c := newSearchCluster(t, 13, 3)
+	// Two events per station — the footprint of a small incident.
+	rep, err := c.CollectEvents(7, func(int) int { return 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != 26 || rep.Covered != 13 {
+		t.Fatalf("events=%d covered=%d, want 26/13", rep.Events, rep.Covered)
+	}
+	if rep.Latency <= 0 || rep.WireBytes <= 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+// TestCollectEventsCostGrowsWithFootprint: like trace collection (and
+// unlike search's bounded top-k merge), event sets concatenate on the
+// way up, so the wire cost must scale with the incident's footprint.
+func TestCollectEventsCostGrowsWithFootprint(t *testing.T) {
+	bytesFor := func(perStation int) int64 {
+		c := newSearchCluster(t, 13, 3)
+		rep, err := c.CollectEvents(1, func(int) int { return perStation })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.WireBytes
+	}
+	small, large := bytesFor(1), bytesFor(10)
+	if large <= small {
+		t.Fatalf("10-event collection moved %d bytes, 1-event moved %d; want growth", large, small)
+	}
+}
+
+func TestCollectEventsGraftsAroundDownStation(t *testing.T) {
+	c := newSearchCluster(t, 13, 3)
+	if err := c.MarkDown(2); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.CollectEvents(5, func(int) int { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Station 2's journal is unreadable, but its subtree (5, 6, 7)
+	// stays covered through the graft.
+	if rep.Events != 12 || rep.Covered != 12 {
+		t.Fatalf("events=%d covered=%d, want 12/12 (dead station skipped, subtree covered)", rep.Events, rep.Covered)
+	}
+
+	// A down station cannot issue the collection.
+	if _, err := c.CollectEvents(2, func(int) int { return 1 }); err == nil {
+		t.Fatal("down station issued an event collection")
+	}
+}

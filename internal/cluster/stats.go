@@ -27,6 +27,13 @@ type StatsReply struct {
 	// is disabled on the node.
 	Latency map[string]obs.Summary
 
+	// Event journal accounting: total admissions per category since
+	// the station started (counts survive ring eviction) and the
+	// journal's latest sequence number — the cursor an Events RPC
+	// poller resumes from. Empty/zero when observability is disabled.
+	Events   map[string]int64
+	EventSeq uint64
+
 	// Relational engine and durability.
 	Tables        int
 	Objects       int64  // doc_objects rows
@@ -75,6 +82,8 @@ func (n *Node) StatsNow() StatsReply {
 	}
 	if o := n.Observer(); o != nil {
 		reply.Latency = o.Metrics.Summaries()
+		reply.Events = o.EventCounts()
+		reply.EventSeq = o.EventSeq()
 	}
 	if count, err := rel.Count("doc_objects"); err == nil {
 		reply.Objects = int64(count)

@@ -147,6 +147,15 @@ func (a *Admin) Trace(id uint64) (TraceReply, error) {
 	return reply, err
 }
 
+// Events collects the fabric-wide journal timeline matching the
+// filter: the dialed station forwards to the root, which scatters the
+// collection down the distribution tree and merges each hop's journal.
+func (a *Admin) Events(f obs.EventFilter) (EventsReply, error) {
+	var reply EventsReply
+	err := a.pool.Call(methodEvents, EventsRequest{Filter: f}, &reply)
+	return reply, err
+}
+
 // Health fetches the station's liveness view of the fabric (the
 // root's view is authoritative).
 func (a *Admin) Health() (HealthReply, error) {

@@ -132,6 +132,7 @@ const (
 	methodState      = "Fabric.State"
 	methodSearch     = "Fabric.Search"
 	methodTrace      = "Fabric.Trace"
+	methodEvents     = "Fabric.Events"
 )
 
 // JoinRequest announces a new station's listen address to the root.
@@ -215,10 +216,29 @@ func (s *Station) SetEventSink(sink obs.EventSink) {
 	s.evSink.Store(sink)
 }
 
-// event emits one structured fault-path record to the sink, if any.
+// event emits one structured fault-path record, outside any traced
+// scope: it lands in the station's event journal (queryable over the
+// Events RPC) and, when a sink is attached, on the log tail.
 func (s *Station) event(name string, kv ...any) {
+	s.eventTrace(0, name, kv...)
+}
+
+// eventSpan emits a record correlated to the span's trace, so the
+// event shows up both in the fabric timeline and beside the trace's
+// hop tree. A nil span degrades to an uncorrelated event.
+func (s *Station) eventSpan(span *obs.ActiveSpan, name string, kv ...any) {
+	s.eventTrace(span.Context().TraceID, name, kv...)
+}
+
+// eventTrace builds the structured event, stamps the trace ID, admits
+// it to the journal (always on when the node has an observer), and
+// renders the legacy one-line form for the sink if one is attached.
+func (s *Station) eventTrace(trace uint64, name string, kv ...any) {
+	e := obs.NewEvent(name, kv...)
+	e.TraceID = trace
+	e = s.observer().Emit(e)
 	if sink, _ := s.evSink.Load().(obs.EventSink); sink != nil {
-		sink(obs.Event(name, kv...))
+		sink(e.Line())
 	}
 }
 
@@ -261,6 +281,7 @@ func newStation(store *docdb.Store, isRoot bool, m, watermark int) *Station {
 	s.node.Handle(methodState, s.handleState)
 	s.node.HandleCtx(methodSearch, s.handleSearch)
 	s.node.Handle(methodTrace, s.handleTrace)
+	s.node.Handle(methodEvents, s.handleEvents)
 	return s
 }
 

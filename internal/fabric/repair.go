@@ -99,12 +99,14 @@ func (s *Station) markMigrated(url string) {
 // treeAgg is what one subtree's fan-out returns: the per-station
 // results plus whatever payload the operation aggregates — freed bytes
 // for migrations, ranked hits for scatter-gather searches, collected
-// spans for trace gathers. Pushes use the results alone.
+// spans for trace gathers, journal events for event gathers. Pushes
+// use the results alone.
 type treeAgg struct {
 	Stations []StationResult
 	Freed    int64
 	Hits     []search.Hit
 	Spans    []obs.Span
+	Events   []obs.Event
 }
 
 // fanOutTree delivers one tree operation (push, migrate, search or
@@ -139,6 +141,7 @@ func (s *Station) fanOutTree(span *obs.ActiveSpan, pos, m, n int, roster map[int
 			agg.Freed += sub.Freed
 			agg.Hits = append(agg.Hits, sub.Hits...)
 			agg.Spans = append(agg.Spans, sub.Spans...)
+			agg.Events = append(agg.Events, sub.Events...)
 			mu.Unlock()
 		}()
 	}
@@ -155,7 +158,9 @@ func (s *Station) childSubtree(span *obs.ActiveSpan, kid, m, n int, roster map[i
 	dead := s.down[kid] || s.suspect[kid]
 	s.mu.Unlock()
 	failure := "station down"
+	fresh := false // a live delivery attempt failed just now
 	if !dead {
+		fresh = true
 		addr := roster[kid]
 		if addr == "" {
 			failure = "no address in roster"
@@ -184,7 +189,14 @@ func (s *Station) childSubtree(span *obs.ActiveSpan, kid, m, n int, roster map[i
 		}
 	}
 	span.Annotate("grafted dead child %d: %s", kid, failure)
-	s.event("graft", "station", s.Pos(), "child", kid, "cause", failure)
+	if fresh {
+		// Journal the discovery, not every traversal that recalls it:
+		// routing around a child the roster already declares down is
+		// policy, and journaling it would make each Events collection
+		// around a dead station write its own scatter into the ring it
+		// is reading.
+		s.eventSpan(span, "graft", "station", s.Pos(), "child", kid, "cause", failure)
+	}
 	sub := s.fanOutTree(span, kid, m, n, roster, routeAround, send)
 	sub.Stations = append([]StationResult{{Pos: kid, Err: failure}}, sub.Stations...)
 	return sub

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // fakeTarget counts ops in memory so driver tests run without sockets.
@@ -51,6 +52,11 @@ func (f *fakeTarget) Checkout(station int, kind, objectID, user string) error {
 }
 func (f *fakeTarget) Stats() ([]cluster.StatsReply, error) {
 	return []cluster.StatsReply{{Pos: 1}}, nil
+}
+func (f *fakeTarget) CollectTrace(id uint64) ([]obs.Span, []obs.Event, error) {
+	f.note("collect")
+	return []obs.Span{{TraceID: id, SpanID: 1, Method: "Fabric.Broadcast"}},
+		[]obs.Event{{Seq: 1, Name: "graft", TraceID: id}}, nil
 }
 func (f *fakeTarget) Close() {}
 

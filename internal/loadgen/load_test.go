@@ -114,3 +114,85 @@ slos:
 		t.Errorf("first scraped station is pos %d, want the root", report.StationStats[0].Pos)
 	}
 }
+
+// TestFailedSLORunResolvesSlowTraces is the trace-driven SLO debugging
+// loop end-to-end: a run judged against an impossible p99 fails its
+// verdict, and resolving the slow exemplars against the still-live
+// fabric yields hop trees (and any correlated journal events) ready to
+// embed in the report — webdocload's exact path on a failed run.
+func TestFailedSLORunResolvesSlowTraces(t *testing.T) {
+	p, err := ParseProfile([]byte(`
+name: slo-debug
+seed: 7
+time-scale: 600
+fabric:
+  stations: 3
+  m: 3
+  watermark: 2
+courses:
+  count: 2
+  pages: 3
+  images-per-page: 1
+phases:
+  - name: push
+    op: broadcast
+    start: 0s
+    duration: 1m
+    rate: 0.1
+  - name: storm
+    op: resolve
+    start: 0s
+    duration: 2m
+    rate: 0.2
+slos:
+  - op: resolve
+    p99: 1us
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := StartHost(p, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	target, err := DialFabric(host.RootAddr(), p.Fabric.Stations, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+
+	plan := BuildPlan(p)
+	col, wall, err := Run(p, plan, target, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := target.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := BuildReport(p, col, wall, stats)
+	if report.Pass {
+		t.Fatal("a 1µs p99 SLO passed; the impossible verdict is the test's premise")
+	}
+	if len(report.SlowTraces) == 0 {
+		t.Fatal("failed run recorded no slow-trace exemplars")
+	}
+	report.ResolvedTraces = ResolveSlowTraces(target, report.SlowTraces)
+	if len(report.ResolvedTraces) != len(report.SlowTraces) {
+		t.Fatalf("resolved %d of %d exemplars", len(report.ResolvedTraces), len(report.SlowTraces))
+	}
+	withSpans := 0
+	for _, rt := range report.ResolvedTraces {
+		if rt.Err != "" {
+			t.Errorf("exemplar %s failed to resolve: %s", rt.TraceID, rt.Err)
+			continue
+		}
+		if len(rt.Spans) > 0 {
+			withSpans++
+		}
+	}
+	if withSpans == 0 {
+		t.Fatal("no resolved exemplar carries a hop tree")
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/atomicio"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // The run report: everything a CI artifact needs to judge a load run
@@ -37,6 +39,13 @@ type Report struct {
 	// fabric is still up to reconstruct the hop tree.
 	SlowTraces []SlowTrace `json:"slow_traces,omitempty"`
 
+	// ResolvedTraces are the slow exemplars' hop trees and correlated
+	// journal events, collected fabric-wide before teardown when the
+	// run failed an SLO — a failed p99 ships with its slowest
+	// traversals pre-resolved instead of trace IDs that died with the
+	// fabric.
+	ResolvedTraces []ResolvedTrace `json:"resolved_traces,omitempty"`
+
 	SLOs []SLOResult `json:"slos"`
 	Pass bool        `json:"pass"`
 
@@ -52,6 +61,40 @@ type SLOResult struct {
 	Threshold float64 `json:"threshold"`
 	Actual    float64 `json:"actual"`
 	Pass      bool    `json:"pass"`
+}
+
+// ResolvedTrace is one slow exemplar with its reconstruction: the
+// fabric-wide span set (hop tree) and the journal events correlated to
+// the trace (grafts mid-traversal, mostly).
+type ResolvedTrace struct {
+	Phase     string      `json:"phase"`
+	Op        string      `json:"op"`
+	TraceID   string      `json:"trace_id"`
+	LatencyMs float64     `json:"latency_ms"`
+	Spans     []obs.Span  `json:"spans,omitempty"`
+	Events    []obs.Event `json:"events,omitempty"`
+	Err       string      `json:"err,omitempty"`
+}
+
+// ResolveSlowTraces collects each slow exemplar's hop tree and
+// correlated events from a still-live target. A collection failure is
+// recorded on the row, not fatal: a partially resolved report beats
+// none, and the run already failed.
+func ResolveSlowTraces(t Target, slow []SlowTrace) []ResolvedTrace {
+	var out []ResolvedTrace
+	for _, st := range slow {
+		rt := ResolvedTrace{Phase: st.Phase, Op: st.Op, TraceID: st.TraceID, LatencyMs: st.LatencyMs}
+		id, err := strconv.ParseUint(st.TraceID, 16, 64)
+		if err != nil || id == 0 {
+			rt.Err = fmt.Sprintf("bad trace ID %q", st.TraceID)
+		} else if spans, events, err := t.CollectTrace(id); err != nil {
+			rt.Err = err.Error()
+		} else {
+			rt.Spans, rt.Events = spans, events
+		}
+		out = append(out, rt)
+	}
+	return out
 }
 
 // StationStat is one station's Stats snapshot after the run.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/webtest"
 )
 
@@ -34,6 +35,10 @@ type Target interface {
 	Checkout(station int, kind, objectID, user string) error
 	// Stats scrapes every station's unified accounting snapshot.
 	Stats() ([]cluster.StatsReply, error)
+	// CollectTrace reconstructs one trace fabric-wide: its spans (the
+	// hop tree) and the journal events correlated to it. Targets
+	// without tracing return empty slices.
+	CollectTrace(id uint64) ([]obs.Span, []obs.Event, error)
 	Close()
 }
 
@@ -154,6 +159,22 @@ func (t *FabricTarget) Stats() ([]cluster.StatsReply, error) {
 		out = append(out, s)
 	}
 	return out, nil
+}
+
+// CollectTrace gathers one trace's spans and correlated journal
+// events fabric-wide through the root's scatter-gather collection —
+// the call webdocload makes for each slow exemplar before tearing a
+// failed run's fabric down.
+func (t *FabricTarget) CollectTrace(id uint64) ([]obs.Span, []obs.Event, error) {
+	rep, err := t.admins[0].Trace(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	var events []obs.Event
+	if evs, err := t.admins[0].Events(obs.EventFilter{TraceID: id}); err == nil {
+		events = evs.Events
+	}
+	return rep.Spans, events, nil
 }
 
 // Close releases all connections.

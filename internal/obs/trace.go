@@ -193,19 +193,82 @@ func (r *SpanRing) ForTrace(id uint64) []Span {
 }
 
 // Observer is a station's observability state: the per-method latency
-// histograms and the span ring, plus the station's current tree
-// position (stamped onto spans as they complete). A nil *Observer is
-// valid everywhere and records nothing.
+// histograms, the span ring and the event journal, plus the station's
+// current tree position (stamped onto spans and events as they
+// complete). A nil *Observer is valid everywhere and records nothing.
 type Observer struct {
 	Metrics Metrics
 	ring    *SpanRing
+	events  atomic.Pointer[EventRing]
 	pos     atomic.Int64
 }
 
 // NewObserver builds an observer with a span ring of the given
-// capacity (<= 0 selects DefaultSpanCap).
+// capacity (<= 0 selects DefaultSpanCap) and an event journal of
+// DefaultEventCap.
 func NewObserver(spanCap int) *Observer {
-	return &Observer{ring: NewSpanRing(spanCap)}
+	o := &Observer{ring: NewSpanRing(spanCap)}
+	o.events.Store(NewEventRing(0))
+	return o
+}
+
+// DisableEventJournal detaches the event journal: subsequent Emit
+// calls record nothing. Race-safe against concurrent emitters — the
+// ops/bench knob for measuring the journal's cost.
+func (o *Observer) DisableEventJournal() {
+	if o != nil {
+		o.events.Store(nil)
+	}
+}
+
+// Emit stamps the event with this station's position, admits it to
+// the journal, and returns the stamped (Seq-assigned) copy. Nil-safe;
+// with no observer or a disabled journal the event passes through
+// unstamped.
+func (o *Observer) Emit(e Event) Event {
+	if o == nil {
+		return e
+	}
+	e.Station = o.Pos()
+	if r := o.events.Load(); r != nil {
+		e = r.Add(e)
+	}
+	return e
+}
+
+// Events returns this station's retained journal events passing the
+// filter, in sequence order.
+func (o *Observer) Events(f EventFilter) []Event {
+	if o == nil {
+		return nil
+	}
+	if r := o.events.Load(); r != nil {
+		return r.Select(f)
+	}
+	return nil
+}
+
+// EventSeq returns the journal's latest sequence number — the cursor
+// a poller resumes from.
+func (o *Observer) EventSeq() uint64 {
+	if o == nil {
+		return 0
+	}
+	if r := o.events.Load(); r != nil {
+		return r.LastSeq()
+	}
+	return 0
+}
+
+// EventCounts returns total journal admissions per category.
+func (o *Observer) EventCounts() map[string]int64 {
+	if o == nil {
+		return nil
+	}
+	if r := o.events.Load(); r != nil {
+		return r.CategoryCounts()
+	}
+	return nil
 }
 
 // SetPos records the station's tree position for span attribution.

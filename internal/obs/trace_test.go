@@ -177,14 +177,14 @@ func TestReservoirPrefersWorstSpans(t *testing.T) {
 }
 
 func TestEventFormat(t *testing.T) {
-	line := Event("graft", "parent", 2, "child", 5, "err", "dial tcp: connection refused")
+	line := NewEvent("graft", "parent", 2, "child", 5, "err", "dial tcp: connection refused").Line()
 	if !strings.HasPrefix(line, "event=graft parent=2 child=5 err=") {
 		t.Fatalf("line = %q", line)
 	}
 	if !strings.Contains(line, `"dial tcp: connection refused"`) {
 		t.Fatalf("spacey value not quoted: %q", line)
 	}
-	if got := Event("rejoin", "pos", 4); got != "event=rejoin pos=4" {
+	if got := NewEvent("rejoin", "pos", 4).Line(); got != "event=rejoin pos=4" {
 		t.Fatalf("got %q", got)
 	}
 }

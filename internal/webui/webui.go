@@ -104,6 +104,31 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 				sum.P50Ms, sum.P95Ms, sum.P99Ms, sum.MaxMs, sum.TotalMs)
 		}
 		sb.WriteString("</table>\n")
+		events := s.Observer.Events(obs.EventFilter{})
+		// Newest first, capped: the journal is the station's local
+		// incident record; the fabric-wide merge is webdocctl events.
+		for i, j := 0, len(events)-1; i < j; i, j = i+1, j-1 {
+			events[i], events[j] = events[j], events[i]
+		}
+		if len(events) > 30 {
+			events = events[:30]
+		}
+		sb.WriteString("<h2>Recent events</h2>\n")
+		if len(events) == 0 {
+			sb.WriteString("<p>No journal events recorded yet.</p>\n")
+			return
+		}
+		sb.WriteString("<table border=1 cellpadding=4><tr><th>time</th><th>seq</th><th>severity</th><th>category</th><th>event</th><th>trace</th></tr>\n")
+		for _, e := range events {
+			trace := ""
+			if e.TraceID != 0 {
+				trace = obs.FormatTraceID(e.TraceID)
+			}
+			fmt.Fprintf(sb, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td><code>%s</code></td><td><code>%s</code></td></tr>\n",
+				e.Time.Format("15:04:05.000"), e.Seq, e.Severity, html.EscapeString(e.Category),
+				html.EscapeString(e.Line()), trace)
+		}
+		sb.WriteString("</table>\n<p>Merge the fabric-wide timeline with <code>webdocctl events</code>.</p>\n")
 	})
 }
 

@@ -348,18 +348,25 @@ func TestDebugPageRendersTracesAndLatency(t *testing.T) {
 		t.Fatalf("debug without observer: code=%d body:\n%s", code, body)
 	}
 
-	// With an observer: one finished root span and its histogram entry.
+	// With an observer: one finished root span, its histogram entry,
+	// and a journal event on the timeline.
 	o := obs.NewObserver(0)
 	o.SetPos(3)
 	sp := o.BeginLocal("Fabric.Broadcast")
 	sp.Annotate("grafted dead child 5: station down")
 	sp.End(nil)
 	o.Observe("Fabric.Broadcast", 42*time.Millisecond, false)
+	ev := obs.NewEvent("down-declared", "pos", 5, "fails", 2)
+	ev.TraceID = sp.Context().TraceID
+	o.Emit(ev)
 	srv.Observer = o
 
 	_, body = get(t, ts.URL+"/debug")
 	id := obs.FormatTraceID(sp.Context().TraceID)
-	for _, want := range []string{id, "Fabric.Broadcast", "grafted dead child 5", "Per-method latency", "webdocctl trace"} {
+	for _, want := range []string{
+		id, "Fabric.Broadcast", "grafted dead child 5", "Per-method latency", "webdocctl trace",
+		"Recent events", "event=down-declared pos=5 fails=2", "webdocctl events",
+	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("debug page missing %q:\n%s", want, body)
 		}
